@@ -1,0 +1,295 @@
+(** [tune] — command-line physical design tuning.
+
+    Tunes a workload against one of the built-in databases (or a SQL script
+    file) with either the relaxation-based tuner (PTT, the paper's
+    contribution) or the bottom-up baseline (CTT), and prints the
+    recommendation, the space/cost frontier and request statistics.
+
+    Examples:
+    {v
+    tune --db tpch --queries 1,3,6,10 --budget-mb 40
+    tune --db ds1 --generate 12 --seed 7 --updates 0.3 --tool ctt
+    tune --db tpch --file workload.sql --mode indexes --iterations 500
+    v} *)
+
+module Query = Relax_sql.Query
+module Config = Relax_physical.Config
+module T = Relax_tuner
+module B = Relax_baseline
+module W = Relax_workloads
+open Cmdliner
+
+type db = Tpch | Ds1 | Bench
+
+let schema_of_db ~scale = function
+  | Tpch -> W.Bench_db.tpch_schema ~scale ()
+  | Ds1 -> W.Star.schema ~scale ()
+  | Bench -> W.Bench_db.schema ~scale ()
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+let load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
+    ~updates =
+  let schema =
+    match schema_file with
+    | None -> schema_of_db ~scale db
+    | Some path ->
+      let catalog, joins = Relax_catalog.Schema_parser.parse (read_file path) in
+      { W.Generator.catalog; joins }
+  in
+  let workload =
+    match (file, queries, db) with
+    | Some path, _, _ -> Relax_sql.Parser.workload (read_file path)
+    | None, Some nums, Tpch when schema_file = None ->
+      W.Tpch.workload_subset nums
+    | None, Some _, _ ->
+      failwith "--queries only applies to --db tpch (the 22 fixed queries)"
+    | None, None, Tpch when generate = 0 && schema_file = None ->
+      W.Tpch.workload ()
+    | None, None, _ ->
+      let n = if generate = 0 then 10 else generate in
+      let profile =
+        { W.Generator.default_profile with update_fraction = updates }
+      in
+      W.Generator.workload ~seed ~profile schema ~n
+  in
+  (schema.catalog, workload)
+
+let run db scale schema_file queries file generate seed updates tool mode
+    budget_mb iterations time_s ddl do_compress explain analyze verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let catalog, workload =
+    load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
+      ~updates
+  in
+  let workload =
+    if do_compress then begin
+      let before, after = W.Compress.compression_ratio workload in
+      Fmt.pr "compressed workload: %d statements -> %d templates@." before
+        after;
+      W.Compress.compress workload
+    end
+    else workload
+  in
+  Fmt.pr "workload (%d statements):@." (List.length workload);
+  List.iter
+    (fun (e : Query.entry) ->
+      Fmt.pr "  %s: %s@." e.qid
+        (Relax_sql.Pretty.statement_to_string e.stmt))
+    workload;
+  let budget =
+    match budget_mb with
+    | None -> infinity
+    | Some m -> m *. 1024.0 *. 1024.0
+  in
+  match tool with
+  | `Ptt ->
+    let mode =
+      if mode = "indexes" then T.Tuner.Indexes_only
+      else T.Tuner.Indexes_and_views
+    in
+    let opts =
+      {
+        (T.Tuner.default_options ~mode ~space_budget:budget ()) with
+        max_iterations = iterations;
+        time_budget_s = time_s;
+      }
+    in
+    let r = T.Tuner.tune catalog workload opts in
+    Fmt.pr "@.%a@." T.Report.pp_summary r;
+    Fmt.pr "@.%a@." T.Report.pp_request_stats r;
+    Fmt.pr "@.%a@." T.Report.pp_frontier r;
+    Fmt.pr "@.recommended configuration:@.%a@." T.Report.pp_recommendation r;
+    if ddl then
+      Fmt.pr "@.-- deployment script@.%a@." Relax_physical.Ddl.pp_config
+        r.recommended;
+    if analyze then begin
+      (* generate rows matching the statistics and execute the chosen
+         plans: estimated vs measured, before and after *)
+      Fmt.pr "@.validating against generated data...@.";
+      let db = Relax_engine.Data.create ~seed:2024 catalog in
+      let before = Relax_engine.Validate.run db Config.empty workload in
+      let after = Relax_engine.Validate.run db r.recommended workload in
+      Fmt.pr "@.before:@.%a@." Relax_engine.Validate.pp_report before;
+      Fmt.pr "@.after:@.%a@." Relax_engine.Validate.pp_report after;
+      Fmt.pr "measured improvement: %.1f%%@."
+        (100.0 *. (1.0 -. (after.measured_total /. before.measured_total)))
+    end;
+    if explain then begin
+      let whatif = Relax_optimizer.Whatif.create catalog in
+      Fmt.pr "@.chosen plans under the recommendation:@.";
+      List.iter
+        (fun (e : Query.entry) ->
+          match e.stmt with
+          | Select sq ->
+            let plan =
+              Relax_optimizer.Whatif.plan_select whatif r.recommended
+                ~qid:e.qid sq
+            in
+            Fmt.pr "@.-- %s@.%a@." e.qid Relax_optimizer.Plan.pp plan
+          | Dml _ -> ())
+        workload
+    end
+  | `Ctt ->
+    let opts =
+      B.Ctt.default_options ~with_views:(mode <> "indexes")
+        ~space_budget:budget ()
+    in
+    let r = B.Ctt.tune catalog workload opts in
+    Fmt.pr "@.CTT (bottom-up baseline):@.";
+    Fmt.pr "  improvement : %.1f%%@." r.improvement;
+    Fmt.pr "  cost        : %.1f (initial %.1f)@." r.recommended_cost
+      r.initial_cost;
+    Fmt.pr "  size        : %a@." Relax_physical.Size_model.pp_bytes
+      r.recommended_size;
+    Fmt.pr "  candidates  : %d, %.2fs@." r.candidate_count r.elapsed_s;
+    Fmt.pr "@.recommended configuration:@.%a@." Config.pp r.recommended;
+    if ddl then
+      Fmt.pr "@.-- deployment script@.%a@." Relax_physical.Ddl.pp_config
+        r.recommended
+
+(* --- cmdliner wiring ----------------------------------------------------- *)
+
+let db =
+  let parse = function
+    | "tpch" -> Ok Tpch
+    | "ds1" -> Ok Ds1
+    | "bench" -> Ok Bench
+    | s -> Error (`Msg ("unknown database: " ^ s))
+  in
+  let print ppf d =
+    Fmt.string ppf (match d with Tpch -> "tpch" | Ds1 -> "ds1" | Bench -> "bench")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tpch
+    & info [ "db" ] ~docv:"DB" ~doc:"Database: tpch, ds1 or bench.")
+
+let scale =
+  Arg.(
+    value & opt float 0.02
+    & info [ "scale" ] ~docv:"S"
+        ~doc:"Database scale factor (1.0 = TPC-H SF-1 row counts).")
+
+let schema_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schema" ] ~docv:"PATH"
+        ~doc:
+          "Use a custom database described by a CREATE TABLE script \
+           (overrides --db).")
+
+let queries =
+  let parse s =
+    try Ok (Some (List.map int_of_string (String.split_on_char ',' s)))
+    with _ -> Error (`Msg "expected a comma-separated list of query numbers")
+  in
+  let print ppf = function
+    | None -> Fmt.string ppf "all"
+    | Some l -> Fmt.(list ~sep:comma int) ppf l
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) None
+    & info [ "queries" ] ~docv:"N,N,..."
+        ~doc:"Subset of the 22 TPC-H queries (tpch only).")
+
+let file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"PATH" ~doc:"Read the workload from a SQL script.")
+
+let generate =
+  Arg.(
+    value & opt int 0
+    & info [ "generate" ] ~docv:"N" ~doc:"Generate N random statements.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let updates =
+  Arg.(
+    value & opt float 0.0
+    & info [ "updates" ] ~docv:"F"
+        ~doc:"Fraction of generated statements that are updates.")
+
+let tool =
+  Arg.(
+    value
+    & opt (enum [ ("ptt", `Ptt); ("ctt", `Ctt) ]) `Ptt
+    & info [ "tool" ] ~docv:"TOOL"
+        ~doc:"Tuner: ptt (relaxation-based) or ctt (bottom-up baseline).")
+
+let mode =
+  Arg.(
+    value
+    & opt (enum [ ("indexes", "indexes"); ("views", "views") ]) "views"
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"What to recommend: indexes only, or indexes and views.")
+
+let budget_mb =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-mb" ] ~docv:"MB"
+        ~doc:"Storage budget in megabytes (absent = unconstrained).")
+
+let iterations =
+  Arg.(
+    value & opt int 400
+    & info [ "iterations" ] ~docv:"N" ~doc:"Relaxation iteration cap (ptt).")
+
+let time_s =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time" ] ~docv:"SECONDS" ~doc:"Wall-clock tuning budget (ptt).")
+
+let ddl =
+  Arg.(
+    value & flag
+    & info [ "ddl" ] ~doc:"Also print the recommendation as a DDL script.")
+
+let do_compress =
+  Arg.(
+    value & flag
+    & info [ "compress" ]
+        ~doc:"Compress the workload to weighted templates before tuning.")
+
+let explain =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Print the chosen plan of every query under the recommendation \
+              (ptt only).")
+
+let analyze =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:"Generate rows matching the statistics and measure the chosen \
+              plans: estimated vs actual (ptt only).")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let cmd =
+  let doc = "automatic physical database tuning (relaxation-based)" in
+  Cmd.v
+    (Cmd.info "tune" ~doc)
+    Term.(
+      const run $ db $ scale $ schema_file $ queries $ file $ generate
+      $ seed $ updates $ tool $ mode $ budget_mb $ iterations $ time_s $ ddl
+      $ do_compress $ explain $ analyze $ verbose)
+
+let () = exit (Cmd.eval cmd)

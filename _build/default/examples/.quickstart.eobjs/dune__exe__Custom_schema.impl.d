@@ -1,0 +1,1 @@
+examples/custom_schema.ml: Fmt Fun List Printf Relax_catalog Relax_physical Relax_sql Relax_tuner Relax_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Relax_catalog Relax_physical Relax_sql Relax_tuner

@@ -1,0 +1,1 @@
+examples/storage_sweep.ml: Fmt List Relax_baseline Relax_physical Relax_tuner Relax_workloads

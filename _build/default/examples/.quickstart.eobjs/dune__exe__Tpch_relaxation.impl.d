@@ -1,0 +1,1 @@
+examples/tpch_relaxation.ml: Fmt List Relax_physical Relax_tuner Relax_workloads

@@ -1,0 +1,1 @@
+examples/update_tuning.ml: Float Fmt List Relax_physical Relax_tuner Relax_workloads

@@ -1,0 +1,59 @@
+(** Quickstart: define a schema, write a workload in SQL, tune it.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+module Catalog = Relax_catalog.Catalog
+module D = Relax_catalog.Distribution
+module Config = Relax_physical.Config
+module T = Relax_tuner
+
+let () =
+  (* 1. Describe the database: table shapes and column value
+     distributions.  No rows are ever stored — statistics (histograms,
+     distinct counts) are built from the distributions, which is all a
+     what-if tuning tool ever looks at. *)
+  let catalog =
+    Catalog.create ~seed:7
+      [
+        Catalog.table "users" ~rows:500_000
+          [
+            Catalog.column "id" Int ~dist:D.Serial;
+            Catalog.column "country" Int ~dist:(D.Uniform (0.0, 99.0));
+            Catalog.column "age" Int ~dist:(D.Normal { mean = 35.0; stddev = 12.0 });
+            Catalog.column "name" (Varchar 40);
+            Catalog.column "karma" Int ~dist:(D.Zipf { n = 10_000; skew = 1.1 });
+          ];
+        Catalog.table "posts" ~rows:5_000_000
+          [
+            Catalog.column "id" Int ~dist:D.Serial;
+            Catalog.column "author" Int ~dist:(D.Uniform (0.0, 499_999.0));
+            Catalog.column "score" Int ~dist:(D.Zipf { n = 1000; skew = 0.9 });
+            Catalog.column "created" Date ~dist:(D.Uniform (9000.0, 11000.0));
+            Catalog.column "body" (Varchar 200);
+          ];
+      ]
+  in
+  (* 2. The workload: plain SQL (the SPJG dialect of the paper). *)
+  let workload =
+    Relax_sql.Parser.workload
+      {|
+      SELECT users.name, users.karma FROM users WHERE users.country = 42;
+      SELECT posts.id, posts.score FROM posts
+        WHERE posts.created >= 10500 AND posts.score > 100;
+      SELECT users.country, COUNT(*), SUM(posts.score)
+        FROM users, posts
+        WHERE users.id = posts.author AND posts.created >= 10000
+        GROUP BY users.country;
+      UPDATE posts SET score = score + 1 WHERE id = 12345;
+      |}
+  in
+  (* 3. Tune under a 256 MB budget, recommending indexes and views. *)
+  let opts =
+    T.Tuner.default_options ~mode:T.Tuner.Indexes_and_views
+      ~space_budget:(256.0 *. 1024.0 *. 1024.0) ()
+  in
+  let result = T.Tuner.tune catalog workload opts in
+  (* 4. Read the results. *)
+  Fmt.pr "%a@." T.Report.pp_summary result;
+  Fmt.pr "@.Recommended physical design:@.%a@." Config.pp result.recommended;
+  Fmt.pr "@.%a@." T.Report.pp_frontier result

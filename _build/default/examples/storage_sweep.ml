@@ -1,0 +1,55 @@
+(** Sweeping the storage constraint (the Figure 10 experiment as an
+    application): compare the relaxation tuner against the bottom-up
+    baseline across budgets, on the same workload.
+
+    Run with: [dune exec examples/storage_sweep.exe] *)
+
+module Config = Relax_physical.Config
+module Size_model = Relax_physical.Size_model
+module T = Relax_tuner
+module B = Relax_baseline
+module W = Relax_workloads
+
+let () =
+  let catalog = W.Tpch.catalog ~scale:0.02 () in
+  let workload = W.Tpch.workload_subset [ 1; 3; 6; 10; 14; 18 ] in
+  let min_size = Config.total_bytes catalog Config.empty in
+  (* the optimal (unconstrained) configuration defines the 100% point *)
+  let optimal =
+    T.Tuner.tune catalog workload
+      {
+        (T.Tuner.default_options ~mode:T.Tuner.Indexes_only
+           ~space_budget:infinity ())
+        with
+        max_iterations = 1;
+      }
+  in
+  Fmt.pr "tables only: %a;  optimal configuration: %a@.@." Size_model.pp_bytes
+    min_size Size_model.pp_bytes optimal.optimal_size;
+  Fmt.pr "%-22s %12s %12s@." "budget" "PTT (relax)" "CTT (greedy)";
+  List.iter
+    (fun pct ->
+      let budget =
+        min_size +. ((optimal.optimal_size -. min_size) *. pct /. 100.0)
+      in
+      let ptt =
+        T.Tuner.tune catalog workload
+          {
+            (T.Tuner.default_options ~mode:T.Tuner.Indexes_only
+               ~space_budget:budget ())
+            with
+            max_iterations = 250;
+          }
+      in
+      let ctt =
+        B.Ctt.tune catalog workload
+          (B.Ctt.default_options ~with_views:false ~space_budget:budget ())
+      in
+      Fmt.pr "%3.0f%% of optimal (%a) %11.1f%% %11.1f%%@." pct
+        Size_model.pp_bytes budget ptt.improvement ctt.improvement)
+    [ 5.0; 15.0; 30.0; 50.0; 75.0; 100.0 ];
+  Fmt.pr
+    "@.The relaxation tuner degrades gracefully under tight budgets \
+     because it shrinks the optimal configuration instead of growing an \
+     empty one; the greedy baseline loses the most exactly where tuning \
+     matters most.@."

@@ -1,0 +1,53 @@
+(** Tuning a mixed select/update workload (§3.6).
+
+    Indexes stop being free when the workload writes: every index on an
+    updated table must be maintained.  This example shows (a) how the
+    recommendation changes as the update share grows, and (b) the §3.6
+    lower bound, which tells the DBA how far any configuration could
+    possibly go.
+
+    Run with: [dune exec examples/update_tuning.exe] *)
+
+module Config = Relax_physical.Config
+module T = Relax_tuner
+module W = Relax_workloads
+
+let () =
+  let schema = W.Bench_db.schema ~scale:0.02 () in
+  let budget = 64.0 *. 1024.0 *. 1024.0 in
+  Fmt.pr
+    "update share | improvement | structures | lower-bound gap | note@.";
+  List.iter
+    (fun update_fraction ->
+      let profile =
+        { W.Generator.default_profile with update_fraction; max_tables = 2 }
+      in
+      let workload = W.Generator.workload ~seed:9 ~profile schema ~n:12 in
+      let opts =
+        {
+          (T.Tuner.default_options ~mode:T.Tuner.Indexes_only
+             ~space_budget:budget ())
+          with
+          max_iterations = 250;
+        }
+      in
+      let r = T.Tuner.tune schema.catalog workload opts in
+      let gap =
+        100.0 *. (r.recommended_cost -. r.lower_bound)
+        /. Float.max 1e-9 r.recommended_cost
+      in
+      Fmt.pr "      %3.0f%%   |   %6.1f%%   |    %3d     |     %5.1f%%      | %s@."
+        (100.0 *. update_fraction)
+        r.improvement
+        (Config.cardinal r.recommended)
+        gap
+        (if update_fraction = 0.0 then "reads only: every useful index pays"
+         else if update_fraction < 0.5 then
+           "maintenance trims the wide indexes"
+         else "few indexes survive heavy writes"))
+    [ 0.0; 0.25; 0.5; 0.75 ];
+  Fmt.pr
+    "@.The recommendation shrinks as writes grow: the §3.6 update shells \
+     charge every index on an updated table, so the relaxation keeps \
+     removing structures even after the budget is met, whenever removal \
+     lowers total cost.@."

@@ -1,0 +1,1 @@
+lib/baseline/candidate.ml: Column_set Fmt Fun Hashtbl List Relax_optimizer Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/baseline/candidate.mli: Format Relax_catalog Relax_optimizer Relax_physical Relax_sql

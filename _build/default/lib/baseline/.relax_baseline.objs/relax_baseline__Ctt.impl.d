@@ -1,0 +1,1 @@
+lib/baseline/ctt.ml: Array Candidate Float Hashtbl List Logs Relax_catalog Relax_optimizer Relax_physical Relax_sql Unix

@@ -1,0 +1,1 @@
+lib/baseline/ctt.mli: Relax_catalog Relax_physical Relax_sql

@@ -1,0 +1,34 @@
+(** CTT: a bottom-up physical design tuner in the classic AutoAdmin
+    architecture — the baseline the relaxation approach is compared
+    against.  Candidate selection with atomic-configuration scoring, one
+    eager merging pass, then Greedy(m,k) enumeration growing from the empty
+    configuration. *)
+
+module Query = Relax_sql.Query
+module Config = Relax_physical.Config
+
+type options = {
+  space_budget : float;
+  with_views : bool;
+  base_config : Config.t;
+  candidates_per_query : int;  (** top-k truncation per query *)
+  greedy_seed_size : int;  (** the m of Greedy(m,k), capped at 2 *)
+  max_steps : int;
+}
+
+val default_options : ?with_views:bool -> space_budget:float -> unit -> options
+
+type result = {
+  recommended : Config.t;
+  recommended_cost : float;
+  recommended_size : float;
+  initial_cost : float;
+  improvement : float;  (** percent vs the base configuration *)
+  candidate_count : int;  (** candidates surviving selection + merging *)
+  trace : (int * float) list;
+      (** (cumulative what-if optimizer calls, best cost) after each greedy
+          step: the Figure 3 series *)
+  elapsed_s : float;
+}
+
+val tune : Relax_catalog.Catalog.t -> Query.workload -> options -> result

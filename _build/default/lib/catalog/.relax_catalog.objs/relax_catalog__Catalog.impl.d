@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Column Distribution Fmt Hashtbl Histogram List Map Printf Relax_sql String

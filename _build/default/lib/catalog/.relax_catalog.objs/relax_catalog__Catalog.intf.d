@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Distribution Format Histogram Relax_sql

@@ -1,0 +1,1 @@
+lib/catalog/distribution.ml: Fmt Relax_sql Rng

@@ -1,0 +1,1 @@
+lib/catalog/distribution.mli: Format Relax_sql Rng

@@ -1,0 +1,1 @@
+lib/catalog/rng.ml: Array Float Int64 List

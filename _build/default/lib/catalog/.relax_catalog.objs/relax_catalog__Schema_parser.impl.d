@@ -1,0 +1,1 @@
+lib/catalog/schema_parser.ml: Catalog Column Distribution Fmt List Relax_sql

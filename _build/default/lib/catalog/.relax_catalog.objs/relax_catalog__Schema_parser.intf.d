@@ -1,0 +1,1 @@
+lib/catalog/schema_parser.mli: Catalog Relax_sql

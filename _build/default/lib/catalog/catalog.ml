@@ -1,0 +1,162 @@
+(** The system catalog: table definitions plus per-column statistics.
+
+    Statistics (row counts, histograms, widths, distinct counts) are all the
+    optimizer ever reads — there are no stored rows, matching how what-if
+    tuning tools operate.  Materialized views are "simulated" by adding a
+    derived table whose statistics are synthesized from the base tables
+    ({!add_derived_table}), which is exactly the what-if API of the paper. *)
+
+open Relax_sql.Types
+
+module String_map = Map.Make (String)
+
+type column_def = {
+  cname : string;
+  ctype : data_type;
+  dist : Distribution.t;
+}
+
+let column ?dist cname ctype =
+  let dist =
+    match dist with Some d -> d | None -> Distribution.default_for_type ctype
+  in
+  { cname; ctype; dist }
+
+type table_def = {
+  tname : string;
+  rows : int;
+  cols : column_def list;
+}
+
+let table tname ~rows cols = { tname; rows; cols }
+
+(** Statistics for one column, as exposed to the optimizer. *)
+type col_stats = {
+  stype : data_type;
+  width : float;  (** average stored width in bytes *)
+  distinct : float;
+  min_v : float;
+  max_v : float;
+  hist : Histogram.t;
+}
+
+type t = {
+  tables : table_def String_map.t;
+  stats : (string * string, col_stats) Hashtbl.t;
+  derived_memo : (string, table_def) Hashtbl.t;
+      (** derived tables already registered once: their statistics live in
+          [stats] and need not be rebuilt when the same view is simulated
+          again under another configuration *)
+  seed : int;
+}
+
+let stats_of_column ~seed ~rows (c : column_def) =
+  let hist = Histogram.build ~seed ~rows c.dist in
+  let lo, hi = Distribution.support c.dist ~rows in
+  {
+    stype = c.ctype;
+    width = width_of_type c.ctype;
+    distinct = float_of_int (Distribution.distinct c.dist ~rows);
+    min_v = lo;
+    max_v = hi;
+    hist;
+  }
+
+(** Build a catalog, constructing statistics for every column. *)
+let create ?(seed = 42) (tables : table_def list) : t =
+  let map =
+    List.fold_left
+      (fun acc t ->
+        if String_map.mem t.tname acc then
+          invalid_arg ("Catalog.create: duplicate table " ^ t.tname)
+        else String_map.add t.tname t acc)
+      String_map.empty tables
+  in
+  let stats = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      List.iteri
+        (fun i c ->
+          let s = stats_of_column ~seed:(seed + Hashtbl.hash (t.tname, i)) ~rows:t.rows c in
+          Hashtbl.replace stats (t.tname, c.cname) s)
+        t.cols)
+    tables;
+  { tables = map; stats; derived_memo = Hashtbl.create 32; seed }
+
+let table_names t = String_map.fold (fun k _ acc -> k :: acc) t.tables [] |> List.rev
+
+let find_table t name = String_map.find_opt name t.tables
+
+let table_exn t name =
+  match find_table t name with
+  | Some td -> td
+  | None -> invalid_arg ("Catalog: unknown table " ^ name)
+
+let rows t name = float_of_int (table_exn t name).rows
+
+let columns_of t name =
+  List.map (fun c -> Relax_sql.Types.Column.make name c.cname) (table_exn t name).cols
+
+let mem_table t name = String_map.mem name t.tables
+
+let col_stats t (c : column) : col_stats =
+  match Hashtbl.find_opt t.stats (c.tbl, c.col) with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Catalog: no statistics for %s.%s" c.tbl c.col)
+
+let col_stats_opt t (c : column) = Hashtbl.find_opt t.stats (c.tbl, c.col)
+
+let col_width t c = (col_stats t c).width
+let col_distinct t c = (col_stats t c).distinct
+let col_type t c = (col_stats t c).stype
+
+(** Total width of a row of table [name]. *)
+let row_width t name =
+  List.fold_left
+    (fun acc (c : column_def) ->
+      acc +. (col_stats t (Column.make name c.cname)).width)
+    0.0 (table_exn t name).cols
+
+(** Register a derived table (a simulated materialized view) with explicit
+    statistics; returns the extended catalog.  The original catalog is not
+    mutated for table membership, but statistics share the underlying
+    hashtable keyed by (table, column), which is safe because derived table
+    names are unique per view. *)
+let add_derived_table t ~name ~rows ~(cols : (string * col_stats) list) : t =
+  match Hashtbl.find_opt t.derived_memo name with
+  | Some td -> { t with tables = String_map.add name td t.tables }
+  | None ->
+    let cdefs =
+      List.map
+        (fun (cname, (s : col_stats)) ->
+          { cname; ctype = s.stype; dist = Distribution.Uniform (s.min_v, s.max_v) })
+        cols
+    in
+    let td = { tname = name; rows = max 1 (int_of_float rows); cols = cdefs } in
+    List.iter (fun (cname, s) -> Hashtbl.replace t.stats (name, cname) s) cols;
+    Hashtbl.replace t.derived_memo name td;
+    { t with tables = String_map.add name td t.tables }
+
+(** Has this derived table been registered before?  If so its statistics are
+    already available and {!add_derived_table} is O(1). *)
+let known_derived t name = Hashtbl.mem t.derived_memo name
+
+(** Remove a derived table (when a simulated view leaves the configuration). *)
+let remove_table t name =
+  (match find_table t name with
+  | Some td ->
+    List.iter (fun c -> Hashtbl.remove t.stats (name, c.cname)) td.cols
+  | None -> ());
+  { t with tables = String_map.remove name t.tables }
+
+let pp_table ppf (td : table_def) =
+  Fmt.pf ppf "@[<v2>%s (%d rows):@," td.tname td.rows;
+  List.iter
+    (fun c -> Fmt.pf ppf "%s %a %a@," c.cname pp_data_type c.ctype Distribution.pp c.dist)
+    td.cols;
+  Fmt.pf ppf "@]"
+
+let pp ppf t =
+  String_map.iter (fun _ td -> Fmt.pf ppf "%a@." pp_table td) t.tables

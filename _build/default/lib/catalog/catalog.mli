@@ -1,0 +1,78 @@
+(** The system catalog: table definitions plus per-column statistics.
+
+    Statistics (row counts, histograms, widths, distinct counts) are all the
+    optimizer ever reads — there are no stored rows, matching how what-if
+    tuning tools operate.  Materialized views are simulated by registering a
+    {e derived table} whose statistics are synthesized from base tables
+    ({!add_derived_table}): the paper's what-if API. *)
+
+open Relax_sql.Types
+
+(** A column declaration: name, type, and the value distribution its
+    statistics are synthesized from. *)
+type column_def = {
+  cname : string;
+  ctype : data_type;
+  dist : Distribution.t;
+}
+
+val column : ?dist:Distribution.t -> string -> data_type -> column_def
+(** [dist] defaults to {!Distribution.default_for_type}. *)
+
+type table_def = {
+  tname : string;
+  rows : int;
+  cols : column_def list;
+}
+
+val table : string -> rows:int -> column_def list -> table_def
+
+(** Statistics for one column, as exposed to the optimizer. *)
+type col_stats = {
+  stype : data_type;
+  width : float;  (** average stored width in bytes *)
+  distinct : float;
+  min_v : float;
+  max_v : float;
+  hist : Histogram.t;
+}
+
+type t
+
+val create : ?seed:int -> table_def list -> t
+(** Build a catalog, constructing statistics for every column.
+    @raise Invalid_argument on duplicate table names. *)
+
+(** {1 Lookup} *)
+
+val table_names : t -> string list
+val find_table : t -> string -> table_def option
+val table_exn : t -> string -> table_def
+val mem_table : t -> string -> bool
+val rows : t -> string -> float
+val columns_of : t -> string -> column list
+val col_stats : t -> column -> col_stats
+val col_stats_opt : t -> column -> col_stats option
+val col_width : t -> column -> float
+val col_distinct : t -> column -> float
+val col_type : t -> column -> data_type
+val row_width : t -> string -> float
+
+(** {1 Derived tables (simulated views)} *)
+
+val add_derived_table :
+  t -> name:string -> rows:float -> cols:(string * col_stats) list -> t
+(** Register a derived table with explicit statistics; returns the extended
+    catalog (the original is unchanged for membership).  Statistics of a
+    derived table registered once are memoized: re-adding the same name is
+    O(1) and may pass [cols = []]. *)
+
+val known_derived : t -> string -> bool
+(** Has this derived table been registered before? *)
+
+val remove_table : t -> string -> t
+
+(** {1 Printing} *)
+
+val pp_table : Format.formatter -> table_def -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(** Synthetic value distributions for catalog columns.
+
+    Base tables never store rows in this reproduction — the whole tuning
+    pipeline (like the paper's PTT and CTT) operates on optimizer estimates.
+    Distributions are what the statistics are {e built from}: the catalog
+    samples a distribution to construct histograms and average widths,
+    playing the role the paper assigns to sampling the stored data. *)
+
+open Relax_sql.Types
+
+type t =
+  | Uniform of float * float  (** uniform on [lo, hi] *)
+  | Zipf of { n : int; skew : float }
+      (** values 1..n with zipfian frequencies *)
+  | Normal of { mean : float; stddev : float }
+  | Serial  (** a key column: value = row number, all distinct *)
+
+let pp ppf = function
+  | Uniform (lo, hi) -> Fmt.pf ppf "uniform[%g,%g]" lo hi
+  | Zipf { n; skew } -> Fmt.pf ppf "zipf(n=%d,s=%g)" n skew
+  | Normal { mean; stddev } -> Fmt.pf ppf "normal(%g,%g)" mean stddev
+  | Serial -> Fmt.string ppf "serial"
+
+(** Draw one value; [row] feeds [Serial] columns. *)
+let draw t rng ~row =
+  match t with
+  | Uniform (lo, hi) -> Rng.float_range rng lo hi
+  | Zipf { n; skew } -> float_of_int (Rng.zipf rng ~n ~skew)
+  | Normal { mean; stddev } -> Rng.normal rng ~mean ~stddev
+  | Serial -> float_of_int row
+
+(** Theoretical support bounds (used for histogram framing and for the
+    min/max statistics). *)
+let support t ~rows =
+  match t with
+  | Uniform (lo, hi) -> (lo, hi)
+  | Zipf { n; _ } -> (1.0, float_of_int n)
+  | Normal { mean; stddev } -> (mean -. (4.0 *. stddev), mean +. (4.0 *. stddev))
+  | Serial -> (0.0, float_of_int (max 0 (rows - 1)))
+
+(** Estimated distinct-value count for a column with [rows] rows. *)
+let distinct t ~rows =
+  match t with
+  | Serial -> rows
+  | Uniform (lo, hi) ->
+    (* treat as integer-valued when the span is small *)
+    let span = int_of_float (hi -. lo) + 1 in
+    min rows (max 1 span)
+  | Zipf { n; _ } -> min rows n
+  | Normal { stddev; _ } ->
+    min rows (max 1 (int_of_float (8.0 *. stddev)))
+
+(** A typical value drawn deterministically (used to instantiate predicate
+    constants in generated workloads). *)
+let quantile t ~rows q =
+  let lo, hi = support t ~rows in
+  lo +. (q *. (hi -. lo))
+
+let default_for_type = function
+  | Int -> Uniform (0.0, 10_000.0)
+  | Float -> Normal { mean = 1000.0; stddev = 250.0 }
+  | Date -> Uniform (8000.0, 11650.0) (* ~1992 .. 2001 in day numbers *)
+  | Char _ | Varchar _ -> Zipf { n = 1000; skew = 0.8 }

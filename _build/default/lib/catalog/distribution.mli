@@ -1,0 +1,30 @@
+(** Synthetic value distributions for catalog columns.
+
+    Base tables store no rows in this reproduction — the tuning pipeline
+    operates on optimizer estimates, as the paper's tools do.  Distributions
+    are what the statistics are {e built from}: histograms and widths are
+    sampled from them, playing the role the paper assigns to sampling
+    stored data. *)
+
+type t =
+  | Uniform of float * float  (** uniform on [lo, hi] *)
+  | Zipf of { n : int; skew : float }  (** ranks 1..n, zipfian frequencies *)
+  | Normal of { mean : float; stddev : float }
+  | Serial  (** key column: value = row number, all distinct *)
+
+val pp : Format.formatter -> t -> unit
+
+val draw : t -> Rng.t -> row:int -> float
+(** One sample; [row] feeds [Serial]. *)
+
+val support : t -> rows:int -> float * float
+(** Theoretical (min, max) for histogram framing. *)
+
+val distinct : t -> rows:int -> int
+(** Estimated distinct count for a column with [rows] rows. *)
+
+val quantile : t -> rows:int -> float -> float
+(** Deterministic value at quantile [q] of the support (used to instantiate
+    predicate constants in generated workloads). *)
+
+val default_for_type : Relax_sql.Types.data_type -> t

@@ -1,0 +1,133 @@
+(** Equi-depth histograms over the float embedding of column values.
+
+    Built by sampling a {!Distribution.t} (standing in for sampling stored
+    data, as the paper's tools do when creating statistics), and queried by
+    the optimizer's selectivity estimator. *)
+
+type bucket = {
+  lo : float;  (** inclusive lower boundary *)
+  hi : float;  (** inclusive upper boundary *)
+  frac : float;  (** fraction of rows falling in this bucket *)
+  distinct : float;  (** estimated distinct values inside the bucket *)
+}
+
+type t = {
+  buckets : bucket array;
+  min_v : float;
+  max_v : float;
+  null_frac : float;
+}
+
+let buckets t = Array.to_list t.buckets
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+(** Build an equi-depth histogram with [buckets] buckets from [samples]
+    draws of [dist]. *)
+let build ?(buckets = 32) ?(samples = 2048) ~seed ~rows dist =
+  let rng = Rng.create seed in
+  let n = max buckets samples in
+  let data = Array.init n (fun i -> Distribution.draw dist rng ~row:(i * max 1 (rows / n))) in
+  Array.sort Float.compare data;
+  let per = n / buckets in
+  let bucket_of i =
+    let first = i * per in
+    let last = if i = buckets - 1 then n - 1 else ((i + 1) * per) - 1 in
+    let lo = data.(first) and hi = data.(last) in
+    let count = last - first + 1 in
+    (* count distinct inside the sorted slice *)
+    let distinct = ref 1 in
+    for j = first + 1 to last do
+      if data.(j) <> data.(j - 1) then incr distinct
+    done;
+    {
+      lo;
+      hi;
+      frac = float_of_int count /. float_of_int n;
+      distinct = float_of_int !distinct;
+    }
+  in
+  {
+    buckets = Array.init buckets bucket_of;
+    min_v = data.(0);
+    max_v = data.(n - 1);
+    null_frac = 0.0;
+  }
+
+(** Build directly from explicit data points (used in tests). *)
+let of_values ?(buckets = 8) values =
+  if values = [] then invalid_arg "Histogram.of_values: empty";
+  let data = Array.of_list values in
+  Array.sort Float.compare data;
+  let n = Array.length data in
+  let buckets = min buckets n in
+  let per = max 1 (n / buckets) in
+  let rec collect i acc =
+    if i >= buckets then List.rev acc
+    else
+      let first = i * per in
+      let last = if i = buckets - 1 then n - 1 else min (n - 1) (((i + 1) * per) - 1) in
+      if first > last then List.rev acc
+      else begin
+        let distinct = ref 1 in
+        for j = first + 1 to last do
+          if data.(j) <> data.(j - 1) then incr distinct
+        done;
+        let b =
+          {
+            lo = data.(first);
+            hi = data.(last);
+            frac = float_of_int (last - first + 1) /. float_of_int n;
+            distinct = float_of_int !distinct;
+          }
+        in
+        collect (i + 1) (b :: acc)
+      end
+  in
+  let bs = collect 0 [] in
+  {
+    buckets = Array.of_list bs;
+    min_v = data.(0);
+    max_v = data.(n - 1);
+    null_frac = 0.0;
+  }
+
+(* Fraction of a bucket covered by [lo, hi] under a uniform-inside-bucket
+   assumption. *)
+let bucket_overlap b ~lo ~hi =
+  let blo = b.lo and bhi = b.hi in
+  if hi < blo || lo > bhi then 0.0
+  else if bhi = blo then 1.0
+  else
+    let l = Float.max lo blo and h = Float.min hi bhi in
+    Float.max 0.0 (h -. l) /. (bhi -. blo)
+
+(** Selectivity of [lo <= col <= hi]; [neg_infinity]/[infinity] encode
+    open sides. *)
+let selectivity_range t ~lo ~hi =
+  if hi < lo then 0.0
+  else
+    Array.fold_left
+      (fun acc b -> acc +. (b.frac *. bucket_overlap b ~lo ~hi))
+      0.0 t.buckets
+    |> Float.min 1.0
+
+(** Selectivity of an equality predicate: the matching bucket's share split
+    across its distinct values. *)
+let selectivity_eq t v =
+  let sel = ref 0.0 in
+  Array.iter
+    (fun b ->
+      if v >= b.lo && v <= b.hi then
+        sel := !sel +. (b.frac /. Float.max 1.0 b.distinct))
+    t.buckets;
+  Float.min 1.0 !sel
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>histogram [%g, %g]:@," t.min_v t.max_v;
+  Array.iter
+    (fun b ->
+      Fmt.pf ppf "  [%g, %g] frac=%.4f distinct=%g@," b.lo b.hi b.frac
+        b.distinct)
+    t.buckets;
+  Fmt.pf ppf "@]"

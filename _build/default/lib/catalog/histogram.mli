@@ -1,0 +1,35 @@
+(** Equi-depth histograms over the float embedding of column values, built
+    by sampling a {!Distribution.t} and queried by the optimizer's
+    selectivity estimator. *)
+
+type bucket = {
+  lo : float;  (** inclusive lower boundary *)
+  hi : float;  (** inclusive upper boundary *)
+  frac : float;  (** fraction of rows in this bucket *)
+  distinct : float;  (** estimated distinct values inside *)
+}
+
+type t
+
+val build :
+  ?buckets:int -> ?samples:int -> seed:int -> rows:int -> Distribution.t -> t
+(** Equi-depth histogram from [samples] draws (defaults: 32 buckets, 2048
+    samples). *)
+
+val of_values : ?buckets:int -> float list -> t
+(** Build directly from data points (used in tests and for derived
+    columns).  @raise Invalid_argument on []. *)
+
+val buckets : t -> bucket list
+val min_value : t -> float
+val max_value : t -> float
+
+val selectivity_range : t -> lo:float -> hi:float -> float
+(** Fraction of rows with [lo <= v <= hi]; use [neg_infinity]/[infinity]
+    for open sides.  Uniform-inside-bucket assumption; result in [0, 1]. *)
+
+val selectivity_eq : t -> float -> float
+(** Fraction of rows equal to the given value: the containing bucket's mass
+    divided by its distinct count. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+(** Deterministic splitmix64 random number generator.
+
+    Every stochastic component in the system (histogram sampling, workload
+    generation) threads an explicit generator seeded by the caller, so runs
+    are reproducible bit-for-bit. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64, Steele et al.; the standard small fast generator. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform integer in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float t *. float_of_int n)
+
+(** Uniform integer in [lo, hi] inclusive. *)
+let int_range t lo hi = lo + int t (hi - lo + 1)
+
+(** Uniform float in [lo, hi). *)
+let float_range t lo hi = lo +. (float t *. (hi -. lo))
+
+(** True with probability [p]. *)
+let bernoulli t p = float t < p
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+(** A random subset of size [k] (Fisher–Yates prefix). *)
+let sample t k l =
+  let arr = Array.of_list l in
+  let n = Array.length arr in
+  let k = min k n in
+  for i = 0 to k - 1 do
+    let j = int_range t i (n - 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list (Array.sub arr 0 k)
+
+(** Shuffle a list. *)
+let shuffle t l = sample t (List.length l) l
+
+(** Standard normal via Box-Muller. *)
+let normal t ~mean ~stddev =
+  let u1 = max 1e-12 (float t) and u2 = float t in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(** Zipf-distributed rank in [1, n] with skew [s], by inverse-CDF over the
+    harmonic weights (linear scan is fine for the sizes we draw). *)
+let zipf t ~n ~skew =
+  let h = ref 0.0 in
+  for k = 1 to n do
+    h := !h +. (1.0 /. Float.pow (float_of_int k) skew)
+  done;
+  let target = float t *. !h in
+  let acc = ref 0.0 and result = ref n in
+  (try
+     for k = 1 to n do
+       acc := !acc +. (1.0 /. Float.pow (float_of_int k) skew);
+       if !acc >= target then begin
+         result := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+(** Derive an independent generator (e.g. one per table/column) without
+    disturbing the parent's stream. *)
+let split t =
+  let s = next_int64 t in
+  { state = s }

@@ -1,0 +1,1 @@
+lib/core/cost_bound.ml: Column Column_set Float List Relax_optimizer Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/core/cost_bound.mli: Relax_optimizer Relax_physical

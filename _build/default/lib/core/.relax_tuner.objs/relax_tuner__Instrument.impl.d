@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Column Column_set Float Fun Hashtbl List Logs Relax_optimizer Relax_physical Relax_sql

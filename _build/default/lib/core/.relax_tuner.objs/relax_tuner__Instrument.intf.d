@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Relax_catalog Relax_optimizer Relax_physical Relax_sql

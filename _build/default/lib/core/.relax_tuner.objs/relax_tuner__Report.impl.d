@@ -1,0 +1,1 @@
+lib/core/report.ml: Float Fmt Instrument List Relax_physical Tuner

@@ -1,0 +1,1 @@
+lib/core/search.ml: Cost_bound Float Hashtbl List Logs Map Option Random Relax_catalog Relax_optimizer Relax_physical Relax_sql String Transform Unix

@@ -1,0 +1,1 @@
+lib/core/search.mli: Map Relax_catalog Relax_optimizer Relax_physical Relax_sql Transform

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Column_set Fmt Hashtbl List Option Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Float Instrument List Relax_catalog Relax_optimizer Relax_physical Relax_sql Search Unix

@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Instrument Relax_catalog Relax_physical Relax_sql Search

@@ -1,0 +1,184 @@
+(** Execution-cost upper bounds for relaxed configurations (§3.3.2).
+
+    The principle: a relaxed configuration [C'] can answer every request the
+    replaced structures answered, just less efficiently.  So we isolate each
+    access sub-plan that used a replaced structure and re-cost {e only that
+    sub-plan} against [C'] (reusing access-path selection — a component of
+    the optimizer, not a full optimization call), adding compensating
+    rid-lookups, filters, sorts or group-bys where needed.  Substituting the
+    patched sub-plan into the otherwise unchanged execution plan yields a
+    valid plan under [C'], hence an upper bound on the optimizer's cost.
+
+    Removed views are bounded by [CBV]: the cost of computing the view from
+    scratch under the base configuration, plus a scan over its result
+    (§3.3.2, "View Transformations"). *)
+
+open Relax_sql.Types
+module Index = Relax_physical.Index
+module View = Relax_physical.View
+module Config = Relax_physical.Config
+module Predicate = Relax_sql.Predicate
+module Expr = Relax_sql.Expr
+module O = Relax_optimizer
+module P = O.Cost_params
+
+(** Context describing one candidate relaxation [C -> C']. *)
+type context = {
+  env' : O.Env.t;  (** environment under the relaxed configuration *)
+  old_env : O.Env.t;  (** environment under the current configuration *)
+  removed_indexes : Index.t list;
+  removed_views : View.t list;
+  view_merge : (View.merge_result * View.t * View.t) option;
+      (** set when the transformation merges two views (result, v1, v2) *)
+  cbv : View.t -> float;
+      (** cost of computing a view under the base configuration *)
+}
+
+let index_removed ctx i = List.exists (Index.equal i) ctx.removed_indexes
+
+let view_removed ctx name =
+  List.exists (fun v -> View.name v = name) ctx.removed_views
+
+(** Is this access affected by the relaxation? *)
+let affected ctx (a : O.Plan.access_info) =
+  List.exists (fun (u : O.Plan.index_usage) -> index_removed ctx u.index) a.usages
+  || view_removed ctx a.rel
+
+exception Unbounded
+(* raised when no compensation can be constructed; the caller falls back to
+   the CBV bound or, at worst, infinity (the search then avoids the
+   transformation) *)
+
+(* --- view-merge compensation ------------------------------------------ *)
+
+(* Remap an access request over view [v] onto the merged view, adding the
+   compensating predicates for whatever the merge widened. *)
+let remap_request_onto_merged (m : View.merge_result) (v : View.t)
+    ~(remap : column -> column option) (r : O.Request.t) : O.Request.t * bool =
+  let map_col c = match remap c with Some c' -> c' | None -> raise Unbounded in
+  let merged_def = View.definition m.merged in
+  let vdef = View.definition v in
+  (* base-level predicates of [v] that the merged view no longer enforces *)
+  let expose_base c =
+    match View.view_column_of_base m.merged c with
+    | Some vc -> vc
+    | None -> raise Unbounded
+  in
+  let lost_ranges =
+    List.filter_map
+      (fun (rv : Predicate.range) ->
+        let kept =
+          List.exists
+            (fun (rm : Predicate.range) ->
+              Column.equal rm.rcol rv.rcol && Predicate.range_equal rm rv)
+            merged_def.ranges
+        in
+        if kept then None else Some { rv with rcol = expose_base rv.rcol })
+      vdef.ranges
+  in
+  let lost_others =
+    List.filter_map
+      (fun e ->
+        if List.exists (Expr.equal e) merged_def.others then None
+        else Some (Expr.map_columns expose_base e))
+      vdef.others
+  in
+  let lost_joins =
+    List.filter_map
+      (fun (j : Predicate.join) ->
+        if Predicate.join_mem j merged_def.joins then None
+        else
+          Some (Expr.Cmp (Eq, Col (expose_base j.left), Col (expose_base j.right))))
+      vdef.joins
+  in
+  let ranges = List.map (fun (rg : Predicate.range) -> { rg with rcol = map_col rg.rcol }) r.ranges in
+  let others = List.map (Expr.map_columns map_col) r.others in
+  let cols =
+    Column_set.fold (fun c acc -> Column_set.add (map_col c) acc) r.cols Column_set.empty
+  in
+  let regroup_needed =
+    vdef.group_by <> []
+    && not
+         (List.length vdef.group_by = List.length merged_def.group_by
+         && List.for_all
+              (fun g ->
+                match View.view_column_of_base v g with
+                | Some _ -> List.exists (Column.equal g) merged_def.group_by
+                | None -> false)
+              vdef.group_by)
+  in
+  let order = if regroup_needed then [] else List.map (fun (c, d) -> (map_col c, d)) r.order in
+  ( O.Request.make ~rel:(View.name m.merged)
+      ~ranges:(ranges @ lost_ranges)
+      ~others:(others @ lost_others @ lost_joins)
+      ~order ~cols (),
+    regroup_needed )
+
+(* --- per-access bounds -------------------------------------------------- *)
+
+(* Bound for an access whose view was removed outright: compute the view
+   from scratch under the base configuration (CBV) and scan its output. *)
+let removed_view_bound ctx (a : O.Plan.access_info) (v : View.t) : float =
+  let rows = O.Env.rows ctx.old_env (View.name v) in
+  let width = O.Env.row_width ctx.old_env (View.name v) in
+  let pages =
+    Float.max 1.0
+      (rows *. width /. Relax_physical.Size_model.default_params.page_size)
+  in
+  let scan = (pages *. P.seq_page) +. (rows *. P.cpu_tuple) in
+  let sort =
+    if a.request.order = [] then 0.0
+    else P.sort_cost ~rows:a.access_rows ~pages
+  in
+  ctx.cbv v +. scan +. (rows *. P.cpu_eval) +. sort
+
+(** Upper bound on the cost of re-implementing one affected access under the
+    relaxed configuration (per execution). *)
+let access_bound ctx (a : O.Plan.access_info) : float =
+  match ctx.view_merge with
+  | Some (m, v1, v2) when a.rel = View.name v1 || a.rel = View.name v2 -> (
+    let v, remap =
+      if a.rel = View.name v1 then (v1, m.remap1) else (v2, m.remap2)
+    in
+    try
+      let request, regroup = remap_request_onto_merged m v ~remap a.request in
+      let plan = O.Access_path.best ctx.env' request in
+      let regroup_cost =
+        if regroup then
+          (plan.rows *. P.cpu_hash) +. (a.access_rows *. P.cpu_agg)
+        else 0.0
+      in
+      plan.cost +. regroup_cost
+    with Unbounded -> removed_view_bound ctx a v)
+  | _ ->
+    if view_removed ctx a.rel then begin
+      match
+        List.find_opt (fun v -> View.name v = a.rel) ctx.removed_views
+      with
+      | Some v -> removed_view_bound ctx a v
+      | None -> raise Unbounded
+    end
+    else begin
+      (* index transformation: the relation still exists under C'; re-run
+         access-path selection there.  The result is a valid plan, hence an
+         upper bound. *)
+      let plan = O.Access_path.best ctx.env' a.request in
+      plan.cost
+    end
+
+(** Upper bound on the whole query's cost under the relaxed configuration:
+    patch every affected access, keep the rest of the plan (§3.3.2). *)
+let query_bound ctx (plan : O.Plan.t) : float =
+  let accesses = O.Plan.accesses plan in
+  List.fold_left
+    (fun acc (a : O.Plan.access_info) ->
+      if affected ctx a then
+        acc
+        +. (a.executions *. access_bound ctx a)
+        -. (a.executions *. a.access_cost)
+      else acc)
+    plan.cost accesses
+
+(** Does this plan touch any structure the relaxation removes? *)
+let plan_affected ctx (plan : O.Plan.t) =
+  List.exists (affected ctx) (O.Plan.accesses plan)

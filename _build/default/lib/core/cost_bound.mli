@@ -1,0 +1,38 @@
+(** Execution-cost upper bounds for relaxed configurations (§3.3.2).
+
+    Each access sub-plan that used a replaced structure is re-costed against
+    the relaxed configuration by re-running access-path selection only (a
+    component of the optimizer, not a full optimization call), adding
+    compensating lookups, filters, sorts or group-bys.  Substituting the
+    patched sub-plan into the otherwise unchanged plan yields a valid plan
+    under the relaxed configuration — hence a true upper bound.
+
+    Removed views are bounded by [CBV]: the cost of computing the view from
+    scratch under the base configuration plus a scan over its result. *)
+
+module Index = Relax_physical.Index
+module View = Relax_physical.View
+module O = Relax_optimizer
+
+(** Context describing one candidate relaxation [C -> C']. *)
+type context = {
+  env' : O.Env.t;  (** environment under the relaxed configuration *)
+  old_env : O.Env.t;  (** environment under the current configuration *)
+  removed_indexes : Index.t list;
+  removed_views : View.t list;
+  view_merge : (View.merge_result * View.t * View.t) option;
+      (** set when the transformation merges two views *)
+  cbv : View.t -> float;
+      (** cost of computing a view under the base configuration *)
+}
+
+val affected : context -> O.Plan.access_info -> bool
+val plan_affected : context -> O.Plan.t -> bool
+
+val access_bound : context -> O.Plan.access_info -> float
+(** Upper bound on re-implementing one affected access under [C'], per
+    execution. *)
+
+val query_bound : context -> O.Plan.t -> float
+(** Upper bound on the whole query's cost under [C']: patch every affected
+    access, keep the rest of the plan. *)

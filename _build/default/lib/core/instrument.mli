@@ -1,0 +1,53 @@
+(** Optimizer instrumentation: deriving the optimal configuration (§2).
+
+    Each index request is answered with the structures making its optimal
+    plan possible (§2.1, Lemmas 1–2); each view request with the requested
+    sub-query materialized as a view plus a clustered index.  Because view
+    matching spawns index requests over the view-tables on the next pass,
+    the procedure iterates to a fixpoint. *)
+
+module Query = Relax_sql.Query
+module Index = Relax_physical.Index
+module View = Relax_physical.View
+module Config = Relax_physical.Config
+
+(** Per-query distinct-request counts (Table 1). *)
+type request_stats = {
+  qid : string;
+  index_requests : int;
+  view_requests : int;
+}
+
+val indexes_for_request :
+  Relax_optimizer.Env.t -> Relax_optimizer.Request.t -> Index.t list
+(** Optimal index candidates for one request: the seek-optimal covering
+    index (keys = sargable columns by increasing selectivity, equalities
+    first, at most one trailing non-equality; suffix = every other needed
+    column) and, when an order is requested, the order-providing index
+    (§2.1).  At most two. *)
+
+val view_for_request :
+  Relax_optimizer.Env.t -> Query.spjg -> (View.t * float * Index.t) option
+(** Materialize a view request: the sub-query itself, its cardinality
+    estimate, and a clustered index keyed on its grouping columns.  [None]
+    for single-table ungrouped blocks (index territory). *)
+
+type result = {
+  optimal : Config.t;  (** the optimal configuration (§2.1) *)
+  stats : request_stats list;
+  passes : int;
+}
+
+val instrumentable : Query.workload -> (string * Query.select_query) list
+(** Statements to instrument: selects plus select components of updates. *)
+
+val optimal_configuration :
+  Relax_catalog.Catalog.t ->
+  base:Config.t ->
+  ?views:bool ->
+  ?max_passes:int ->
+  Query.workload ->
+  result
+(** Intercept all requests during optimization and gather the optimal
+    structures.  [base] holds structures present in any configuration;
+    [views:false] gives the indexes-only tuning mode. *)

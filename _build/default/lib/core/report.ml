@@ -1,0 +1,82 @@
+(** Human-readable tuning reports: the recommendation, the space/cost
+    frontier (the Figure 4 style by-product the paper highlights as useful
+    DBA feedback), and request statistics. *)
+
+module Config = Relax_physical.Config
+module Size_model = Relax_physical.Size_model
+
+let pp_summary ppf (r : Tuner.result) =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "initial configuration : %a, cost %.1f@," Size_model.pp_bytes
+    r.initial_size r.initial_cost;
+  Fmt.pf ppf "optimal configuration : %a, cost %.1f (%d structures)@,"
+    Size_model.pp_bytes r.optimal_size r.optimal_cost
+    (Config.cardinal r.optimal);
+  Fmt.pf ppf "recommended           : %a, cost %.1f (%d structures)@,"
+    Size_model.pp_bytes r.recommended_size r.recommended_cost
+    (Config.cardinal r.recommended);
+  Fmt.pf ppf "improvement           : %.1f%%@," r.improvement;
+  Fmt.pf ppf "lower bound on cost   : %.1f@," r.lower_bound;
+  Fmt.pf ppf "search                : %d iterations, %d optimizer calls, %d cache hits, %.2fs@,"
+    r.iterations r.optimizer_calls r.cache_hits r.elapsed_s;
+  Fmt.pf ppf "@]"
+
+let pp_recommendation ppf (r : Tuner.result) =
+  Fmt.pf ppf "%a" Config.pp r.recommended
+
+(** The frontier of non-dominated (size, cost) points among explored
+    configurations: what a DBA reads to decide whether more disk would pay
+    off (Figure 4). *)
+let pareto_frontier (points : (float * float) list) : (float * float) list =
+  let sorted =
+    List.sort
+      (fun (s1, c1) (s2, c2) ->
+        match Float.compare s1 s2 with 0 -> Float.compare c1 c2 | x -> x)
+      points
+  in
+  let rec go best acc = function
+    | [] -> List.rev acc
+    | (s, c) :: rest ->
+      if c < best then go c ((s, c) :: acc) rest else go best acc rest
+  in
+  go infinity [] sorted
+
+let pp_frontier ppf (r : Tuner.result) =
+  let f = pareto_frontier r.frontier in
+  Fmt.pf ppf "@[<v>size -> cost frontier (%d explored, %d on frontier):@,"
+    (List.length r.frontier) (List.length f);
+  List.iter
+    (fun (s, c) -> Fmt.pf ppf "  %a  %.1f@," Size_model.pp_bytes s c)
+    f;
+  Fmt.pf ppf "@]"
+
+let pp_request_stats ppf (r : Tuner.result) =
+  Fmt.pf ppf "@[<v>query                #index reqs  #view reqs@,";
+  List.iter
+    (fun (s : Instrument.request_stats) ->
+      Fmt.pf ppf "%-22s %10d  %10d@," s.qid s.index_requests s.view_requests)
+    r.request_stats;
+  let ti = List.fold_left (fun a (s : Instrument.request_stats) -> a + s.index_requests) 0 r.request_stats in
+  let tv = List.fold_left (fun a (s : Instrument.request_stats) -> a + s.view_requests) 0 r.request_stats in
+  Fmt.pf ppf "%-22s %10d  %10d@," "total" ti tv;
+  Fmt.pf ppf "@]"
+
+(** Per-query before/after deltas, flagging regressions: statements the
+    recommendation makes slower (possible under space pressure and update
+    maintenance; a DBA reviews these before deploying). *)
+let pp_regressions ppf (r : Tuner.result) =
+  Fmt.pf ppf "@[<v>query                before      after      change@,";
+  List.iter
+    (fun (qid, before, after) ->
+      let change =
+        if before <= 0.0 then 0.0
+        else 100.0 *. (after -. before) /. before
+      in
+      Fmt.pf ppf "%-18s %9.1f %10.1f %+9.1f%%%s@," qid before after change
+        (if after > before +. 1e-6 then "   << regression" else ""))
+    r.per_query;
+  Fmt.pf ppf "@]"
+
+(** Statements the recommendation makes more expensive. *)
+let regressions (r : Tuner.result) =
+  List.filter (fun (_, before, after) -> after > before +. 1e-6) r.per_query

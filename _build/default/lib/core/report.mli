@@ -1,0 +1,18 @@
+(** Human-readable tuning reports, including the space/cost frontier the
+    paper highlights as DBA decision support (Figure 4). *)
+
+val pp_summary : Format.formatter -> Tuner.result -> unit
+val pp_recommendation : Format.formatter -> Tuner.result -> unit
+
+val pareto_frontier : (float * float) list -> (float * float) list
+(** Non-dominated (size, cost) points, sorted by size. *)
+
+val pp_frontier : Format.formatter -> Tuner.result -> unit
+val pp_request_stats : Format.formatter -> Tuner.result -> unit
+
+val pp_regressions : Format.formatter -> Tuner.result -> unit
+(** Per-query before/after deltas, flagging statements the recommendation
+    makes slower. *)
+
+val regressions : Tuner.result -> (string * float * float) list
+(** The regressed statements: (id, before, after). *)

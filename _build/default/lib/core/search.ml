@@ -1,0 +1,724 @@
+(** The relaxation-based search (§3.2–§3.6, Figure 5).
+
+    The search starts from the optimal configuration of §2 and repeatedly
+    relaxes configurations from a pool.  The template's two open choices are
+    instantiated with the paper's heuristics:
+
+    - {e which transformation} (line 6): the one minimizing
+      [penalty = ΔT / min(Space(C) − B, ΔS)], where ΔT is the §3.3.2 cost
+      upper bound and ΔS the §3.3.1 size estimate; with updates in the
+      workload, dominated transformations are first removed (skyline), and
+      once a configuration already fits the budget the penalty degenerates
+      to ΔT (§3.6).
+    - {e which configuration} (line 5): keep relaxing the last one until it
+      fits (with updates: or while relaxation keeps reducing its cost); then
+      revisit the chain at the largest actual penalty; finally fall back to
+      the cheapest configuration with untried transformations (§3.4).
+
+    Only queries whose plans used a replaced structure are re-optimized when
+    a configuration is evaluated; with shortcut evaluation, a partial sum
+    already exceeding the best known cost aborts the evaluation (§3.5). *)
+
+module Query = Relax_sql.Query
+module Config = Relax_physical.Config
+module Index = Relax_physical.Index
+module View = Relax_physical.View
+module O = Relax_optimizer
+module String_map = Map.Make (String)
+
+let src = Logs.Src.create "relax.search" ~doc:"relaxation search"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(** How line 6 of Figure 5 picks among ranked candidates.  [Penalty] is the
+    paper's heuristic (§3.4); the others exist for the ablation study. *)
+type selection =
+  | Penalty  (** minimize ΔT / min(Space − B, ΔS) *)
+  | Cost_greedy  (** minimize ΔT only (ignores space pressure) *)
+  | Space_greedy  (** maximize ΔS only (ignores cost) *)
+  | Random of int  (** uniformly random applicable transformation (seeded) *)
+
+type options = {
+  space_budget : float;  (** B, in bytes *)
+  max_iterations : int;
+  time_budget_s : float option;
+  protected : Config.t;  (** the base configuration: never transformed *)
+  shortcut_evaluation : bool;  (** §3.5 *)
+  max_candidates_per_node : int;
+      (** cap on ranked transformations kept per configuration *)
+  transforms_per_iteration : int;
+      (** §3.5 variant: apply up to this many non-conflicting
+          transformations before re-evaluating (1 = the paper's default) *)
+  shrink_configurations : bool;
+      (** §3.5 variant: drop structures unused by any query after each
+          evaluation (may hurt quality: an unused structure can become
+          useful after other structures are relaxed away) *)
+  selection : selection;
+}
+
+let default_options ~space_budget =
+  {
+    space_budget;
+    max_iterations = 400;
+    time_budget_s = None;
+    protected = Config.empty;
+    shortcut_evaluation = true;
+    max_candidates_per_node = 256;
+    transforms_per_iteration = 1;
+    shrink_configurations = false;
+    selection = Penalty;
+  }
+
+(** A ranked candidate transformation of one configuration. *)
+type candidate = {
+  tr : Transform.t;
+  penalty : float;
+  delta_cost : float;  (** ΔT: upper-bound cost increase *)
+  delta_space : float;  (** ΔS: space saved *)
+}
+
+(** A configuration in the pool, with its evaluated plans and costs. *)
+type node = {
+  id : int;
+  config : Config.t;
+  plans : O.Plan.t String_map.t;  (** per select-query plans *)
+  select_cost : float;
+  shell_cost : float;
+  cost : float;
+  size : float;
+  parent : int option;
+  via : Transform.t option;
+  actual_penalty : float;
+      (** realized (cost increase)/(space saved) when created *)
+  mutable untried : candidate list;  (** sorted by increasing penalty *)
+  mutable candidates_ready : bool;
+  mutable pruned : bool;
+}
+
+type prepared = {
+  selects : (string * float * Query.select_query) list;
+      (** includes select components of updates *)
+  dmls : (float * Query.dml) list;
+  has_updates : bool;
+}
+
+let prepare (w : Query.workload) : prepared =
+  let selects =
+    List.filter_map
+      (fun (e : Query.entry) ->
+        match e.stmt with
+        | Select q -> Some (e.qid, e.weight, q)
+        | Dml d -> (
+          match Query.split_update d with
+          | Some q, _ -> Some (e.qid ^ ":select", e.weight, q)
+          | None, _ -> None))
+      w
+  in
+  let dmls =
+    List.filter_map
+      (fun (e : Query.entry) ->
+        match e.stmt with Dml d -> Some (e.weight, d) | Select _ -> None)
+      w
+  in
+  { selects; dmls; has_updates = dmls <> [] }
+
+type state = {
+  catalog : Relax_catalog.Catalog.t;
+  whatif : O.Whatif.t;
+  prepared : prepared;
+  opts : options;
+  mutable nodes : node list;  (** the pool CP, newest first *)
+  by_id : (int, node) Hashtbl.t;
+  mutable next_id : int;
+  mutable best : node option;  (** best configuration fitting the budget *)
+  mutable iterations : int;
+  mutable candidates_trace : int list;  (** per-iteration candidate counts *)
+  seen : (string, unit) Hashtbl.t;  (** configuration fingerprints *)
+  cbv_cache : (string, float) Hashtbl.t;
+  size_cache : (string, float) Hashtbl.t;  (** per-structure size memo *)
+  rand : Random.State.t;  (** only consulted by the [Random] selection *)
+  started : float;
+}
+
+(* structures referenced by any plan in the map: what "shrinking" keeps *)
+let used_structure_names (plans : O.Plan.t String_map.t) =
+  let used = Hashtbl.create 32 in
+  String_map.iter
+    (fun _ plan ->
+      List.iter
+        (fun (a : O.Plan.access_info) ->
+          Hashtbl.replace used a.rel ();
+          (match a.via_view with
+          | Some v -> Hashtbl.replace used (View.name v) ()
+          | None -> ());
+          List.iter
+            (fun (u : O.Plan.index_usage) ->
+              Hashtbl.replace used (Index.name u.index) ())
+            a.usages)
+        (O.Plan.accesses plan))
+    plans;
+  used
+
+(* Memoized size of one index under a configuration (the owner's row count
+   pins the size; view row estimates are stored in the configuration). *)
+let index_size st config (i : Relax_physical.Index.t) =
+  let rows = Config.relation_rows st.catalog config (Index.owner i) in
+  let key = Index.name i ^ "@" ^ string_of_float rows in
+  match Hashtbl.find_opt st.size_cache key with
+  | Some s -> s
+  | None ->
+    let s = Config.index_bytes st.catalog config i in
+    Hashtbl.replace st.size_cache key s;
+    s
+
+(* Heap bytes of unclustered base tables (cached once). *)
+let heap_bytes st config =
+  let module Cat = Relax_catalog.Catalog in
+  let module SM = Relax_physical.Size_model in
+  List.fold_left
+    (fun acc name ->
+      if Config.clustered_on config name <> None then acc
+      else
+        let key = "heap@" ^ name in
+        let h =
+          match Hashtbl.find_opt st.size_cache key with
+          | Some h -> h
+          | None ->
+            let h =
+              SM.heap_pages ~rows:(Cat.rows st.catalog name)
+                ~row_width:(Cat.row_width st.catalog name) ()
+              *. SM.default_params.page_size
+            in
+            Hashtbl.replace st.size_cache key h;
+            h
+        in
+        acc +. h)
+    0.0
+    (Cat.table_names st.catalog)
+
+let config_size st config =
+  List.fold_left
+    (fun acc i -> acc +. index_size st config i)
+    (heap_bytes st config) (Config.indexes config)
+
+let shell_cost_of st config =
+  if st.prepared.dmls = [] then 0.0
+  else begin
+    let env = O.Env.make st.catalog config in
+    List.fold_left
+      (fun acc (w, d) -> acc +. (w *. O.Update_cost.shell_cost env config d))
+      0.0 st.prepared.dmls
+  end
+
+(* CBV: cost of computing a view from scratch under the base configuration *)
+let cbv st (v : View.t) =
+  let name = View.name v in
+  match Hashtbl.find_opt st.cbv_cache name with
+  | Some c -> c
+  | None ->
+    let sq = { Query.body = View.definition v; order_by = [] } in
+    let plan = O.Optimizer.optimize st.catalog st.opts.protected sq in
+    Hashtbl.replace st.cbv_cache name plan.cost;
+    plan.cost
+
+let estimate_view_rows st (v : View.t) =
+  let env = O.Env.make st.catalog st.opts.protected in
+  O.Cardinality.spjg env (View.definition v)
+
+(* ------------------------------------------------------------------ *)
+(* node evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bound_context ?old_env st ~old_config ~new_config (tr : Transform.t) :
+    Cost_bound.context =
+  let view_merge =
+    match tr with
+    | Merge_views (a, b) -> (
+      match View.merge a b with Some m -> Some (m, a, b) | None -> None)
+    | _ -> None
+  in
+  {
+    env' = O.Env.make st.catalog new_config;
+    old_env =
+      (match old_env with
+      | Some e -> e
+      | None -> O.Env.make st.catalog old_config);
+    removed_indexes = Transform.removed_indexes old_config tr;
+    removed_views = Transform.removed_views tr;
+    view_merge;
+    cbv = cbv st;
+  }
+
+(** Evaluate a fresh configuration obtained by relaxing [parent] with [tr]:
+    re-optimize only the plans the relaxation affected; optionally abort as
+    soon as the running total exceeds the best known cost (§3.5). *)
+let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
+    node option =
+  let ctx = bound_context st ~old_config:parent.config ~new_config:config tr in
+  let best_cost =
+    match st.best with Some b -> b.cost | None -> infinity
+  in
+  let shell = shell_cost_of st config in
+  (* unaffected plans survive as-is (the §3 re-optimization-avoidance rule) *)
+  let exception Shortcut in
+  try
+    let total = ref shell in
+    let plans =
+      List.fold_left
+        (fun acc (qid, w, q) ->
+          let old_plan = String_map.find qid parent.plans in
+          let plan =
+            if Cost_bound.plan_affected ctx old_plan then
+              O.Whatif.plan_select st.whatif config ~qid q
+            else old_plan
+          in
+          total := !total +. (w *. plan.O.Plan.cost);
+          if st.opts.shortcut_evaluation && !total > best_cost *. 3.0 then
+            raise Shortcut;
+          String_map.add qid plan acc)
+        String_map.empty st.prepared.selects
+    in
+    let select_cost = !total -. shell in
+    (* §3.5 shrinking variant: drop structures no surviving plan uses *)
+    let config =
+      if not st.opts.shrink_configurations then config
+      else begin
+        let used = used_structure_names plans in
+        let keep_index i =
+          Config.mem_index st.opts.protected i
+          || Hashtbl.mem used (Index.name i)
+          ||
+          (* a clustered index is the storage of a used view *)
+          (i.clustered && Hashtbl.mem used (Index.owner i))
+        in
+        let config =
+          List.fold_left
+            (fun cfg i -> if keep_index i then cfg else Config.remove_index cfg i)
+            config (Config.indexes config)
+        in
+        List.fold_left
+          (fun cfg v ->
+            if
+              Config.mem_view st.opts.protected v
+              || Hashtbl.mem used (View.name v)
+            then cfg
+            else Config.remove_view cfg v)
+          config (Config.views config)
+      end
+    in
+    let size = config_size st config in
+    let actual_penalty =
+      let d_s = parent.size -. size in
+      let d_t = !total -. parent.cost in
+      if d_s > 0.0 then d_t /. d_s else d_t
+    in
+    let node =
+      {
+        id = st.next_id;
+        config;
+        plans;
+        select_cost;
+        shell_cost = shell;
+        cost = !total;
+        size;
+        parent = Some parent.id;
+        via = Some tr;
+        actual_penalty;
+        untried = [];
+        candidates_ready = false;
+        pruned = false;
+      }
+    in
+    st.next_id <- st.next_id + 1;
+    Some node
+  with Shortcut -> None
+
+(* ------------------------------------------------------------------ *)
+(* candidate ranking (§3.4, §3.6)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rank_candidates st (n : node) : candidate list =
+  let transforms = Transform.enumerate ~protected:st.opts.protected n.config in
+  let old_env = O.Env.make st.catalog n.config in
+  (* index which queries use which structures, so each transformation only
+     touches the plans it actually affects *)
+  let usage : (string, (string * float) list) Hashtbl.t = Hashtbl.create 64 in
+  let add_usage name qid w =
+    let l = Option.value ~default:[] (Hashtbl.find_opt usage name) in
+    if not (List.mem_assoc qid l) then Hashtbl.replace usage name ((qid, w) :: l)
+  in
+  List.iter
+    (fun (qid, w, _) ->
+      let plan = String_map.find qid n.plans in
+      List.iter
+        (fun (a : O.Plan.access_info) ->
+          List.iter
+            (fun (u : O.Plan.index_usage) -> add_usage (Index.name u.index) qid w)
+            a.usages;
+          if Config.find_view n.config a.rel <> None then add_usage a.rel qid w)
+        (O.Plan.accesses plan))
+    st.prepared.selects;
+  let affected_queries tr =
+    let names =
+      List.map Index.name (Transform.removed_indexes n.config tr)
+      @ List.map View.name (Transform.removed_views tr)
+    in
+    List.sort_uniq compare
+      (List.concat_map
+         (fun name -> Option.value ~default:[] (Hashtbl.find_opt usage name))
+         names)
+  in
+  let raw =
+    List.filter_map
+      (fun tr ->
+        match Transform.apply ~estimate_rows:(estimate_view_rows st) n.config tr with
+        | None -> None
+        | Some config' ->
+          (* incremental size: only the structures that changed are
+             re-measured; heaps are cheap cached lookups *)
+          let removed =
+            Index.Set.diff (Config.index_set n.config) (Config.index_set config')
+          in
+          let added =
+            Index.Set.diff (Config.index_set config') (Config.index_set n.config)
+          in
+          let size' =
+            n.size -. heap_bytes st n.config +. heap_bytes st config'
+            -. Index.Set.fold (fun i a -> a +. index_size st n.config i) removed 0.0
+            +. Index.Set.fold (fun i a -> a +. index_size st config' i) added 0.0
+          in
+          let delta_space = n.size -. size' in
+          let affected = affected_queries tr in
+          let delta_selects =
+            if affected = [] then 0.0
+            else begin
+              let ctx =
+                bound_context ~old_env st ~old_config:n.config
+                  ~new_config:config' tr
+              in
+              List.fold_left
+                (fun acc (qid, w) ->
+                  let plan = String_map.find qid n.plans in
+                  if Cost_bound.plan_affected ctx plan then
+                    acc
+                    +. (w *. (Cost_bound.query_bound ctx plan -. plan.O.Plan.cost))
+                  else acc)
+                0.0 affected
+            end
+          in
+          let delta_shell =
+            if st.prepared.dmls = [] then 0.0
+            else shell_cost_of st config' -. n.shell_cost
+          in
+          let delta_cost = delta_selects +. delta_shell in
+          if delta_space <= 0.0 && delta_cost >= 0.0 then None
+          else Some { tr; penalty = 0.0; delta_cost; delta_space })
+      transforms
+  in
+  (* skyline filtering for update workloads: drop dominated transformations
+     (§3.6: a transformation with lower cost increase AND larger space
+     saving dominates) *)
+  let raw =
+    if not st.prepared.has_updates then raw
+    else
+      List.filter
+        (fun c ->
+          not
+            (List.exists
+               (fun c' ->
+                 c' != c
+                 && c'.delta_cost <= c.delta_cost
+                 && c'.delta_space >= c.delta_space
+                 && (c'.delta_cost < c.delta_cost || c'.delta_space > c.delta_space))
+               raw))
+        raw
+  in
+  let over_budget = n.size -. st.opts.space_budget in
+  let with_penalty =
+    List.map
+      (fun c ->
+        let penalty =
+          if over_budget <= 0.0 then
+            (* already fits: only meaningful with updates, ranked by ΔT *)
+            c.delta_cost
+          else begin
+            let denom = Float.min over_budget c.delta_space in
+            if denom > 0.0 then c.delta_cost /. denom
+            else
+              (* non-shrinking while over budget: rank below every
+                 shrinking candidate, whatever its ΔT *)
+              1e12 +. c.delta_cost
+          end
+        in
+        { c with penalty })
+      raw
+  in
+  let sorted =
+    List.sort (fun a b -> Float.compare a.penalty b.penalty) with_penalty
+  in
+  List.filteri (fun i _ -> i < st.opts.max_candidates_per_node) sorted
+
+let ensure_candidates st n =
+  if not n.candidates_ready then begin
+    n.untried <- rank_candidates st n;
+    n.candidates_ready <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* configuration choice (§3.4 / §3.6)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let has_untried st n =
+  ensure_candidates st n;
+  (not n.pruned) && n.untried <> []
+
+(* count without forcing lazy candidate computation *)
+let untried_ready_count st =
+  List.fold_left
+    (fun acc n ->
+      if n.candidates_ready && not n.pruned then acc + List.length n.untried
+      else acc)
+    0 st.nodes
+
+let find_node st id = Hashtbl.find st.by_id id
+
+(* chain of ancestors from [n] (inclusive) to the root *)
+let chain st n =
+  let rec go acc n =
+    match n.parent with
+    | None -> List.rev (n :: acc)
+    | Some p -> go (n :: acc) (find_node st p)
+  in
+  go [] n
+
+let parent_cost st n =
+  match n.parent with None -> infinity | Some p -> (find_node st p).cost
+
+let pick_configuration st ~(last : node) : node option =
+  let b = st.opts.space_budget in
+  (* Heuristic 1: keep relaxing the last configuration while it is over
+     budget (or, with updates, while the relaxation reduced its cost). *)
+  let continue_last =
+    last.size > b
+    || (st.prepared.has_updates && last.cost < parent_cost st last)
+  in
+  if continue_last && has_untried st last then Some last
+  else begin
+    (* Heuristic 2: along the chain of the best fitting configuration, pick
+       the node whose relaxation realized the largest penalty. *)
+    let from_chain =
+      match st.best with
+      | None -> None
+      | Some best ->
+        let ch = chain st best in
+        let edges =
+          List.filter_map
+            (fun n ->
+              match n.parent with
+              | Some p ->
+                let parent = find_node st p in
+                if has_untried st parent then Some (n.actual_penalty, parent)
+                else None
+              | None -> None)
+            ch
+        in
+        (match List.sort (fun (a, _) (b', _) -> Float.compare b' a) edges with
+        | (_, parent) :: _ -> Some parent
+        | [] -> None)
+    in
+    match from_chain with
+    | Some n -> Some n
+    | None ->
+      (* Heuristic 3: the cheapest configuration with work left (checked in
+         cost order so candidate ranking is only forced until a hit). *)
+      let sorted =
+        List.sort (fun a b -> Float.compare a.cost b.cost) st.nodes
+      in
+      List.find_opt (has_untried st) sorted
+  end
+
+(* Pop one candidate from the node's untried list, per the selection
+   strategy (§3.4 default: minimum penalty = head of the sorted list). *)
+let pick_candidate st (c : node) : candidate option =
+  match c.untried with
+  | [] -> None
+  | l ->
+    let minimize f =
+      List.fold_left (fun acc x -> if f x < f acc then x else acc) (List.hd l) l
+    in
+    let chosen =
+      match st.opts.selection with
+      | Penalty -> List.hd l
+      | Cost_greedy -> minimize (fun x -> x.delta_cost)
+      | Space_greedy -> minimize (fun x -> -.x.delta_space)
+      | Random _ -> List.nth l (Random.State.int st.rand (List.length l))
+    in
+    c.untried <- List.filter (fun x -> x != chosen) l;
+    Some chosen
+
+(* §3.5 variant: greedily pile further candidates of the same node onto a
+   partially-relaxed configuration.  Conflicting transformations (ones whose
+   structures are already gone) simply fail to apply and are skipped. *)
+let extend_with_transforms st (c : node) config k =
+  let applied = ref [] in
+  let config = ref config in
+  let rec go remaining k =
+    match (remaining, k) with
+    | [], _ | _, 0 -> ()
+    | cand :: rest, k -> (
+      match
+        Transform.apply ~estimate_rows:(estimate_view_rows st) !config cand.tr
+      with
+      | Some cfg' ->
+        config := cfg';
+        applied := cand :: !applied;
+        go rest (k - 1)
+      | None -> go rest k)
+  in
+  go c.untried k;
+  c.untried <- List.filter (fun x -> not (List.memq x !applied)) c.untried;
+  !config
+
+(* ------------------------------------------------------------------ *)
+(* the main loop (Figure 5)                                            *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  initial : node;  (** the optimal configuration's node *)
+  best : node option;  (** best configuration within the budget *)
+  explored : (float * float * float) list;
+      (** (size, select+shell cost, actual penalty) of every evaluated node *)
+  best_trace : (int * float) list;
+      (** (iteration, cost) each time a new best valid configuration was
+          found: the tuner's anytime behaviour *)
+  iterations : int;
+  candidates_per_iteration : int list;
+  optimizer_calls : int;
+  cache_hits : int;
+}
+
+(** Run the relaxation search from an initial (optimal) configuration. *)
+let run catalog ~(workload : Query.workload) ~(initial : Config.t)
+    (opts : options) : outcome =
+  let whatif = O.Whatif.create catalog in
+  let prepared = prepare workload in
+  let st =
+    {
+      catalog;
+      whatif;
+      prepared;
+      opts;
+      nodes = [];
+      by_id = Hashtbl.create 64;
+      next_id = 0;
+      best = None;
+      iterations = 0;
+      candidates_trace = [];
+      seen = Hashtbl.create 64;
+      cbv_cache = Hashtbl.create 16;
+      size_cache = Hashtbl.create 256;
+      rand =
+        Random.State.make
+          [| (match opts.selection with Random seed -> seed | _ -> 0) |];
+      started = Unix.gettimeofday ();
+    }
+  in
+  (* evaluate the initial configuration from scratch *)
+  let shell = shell_cost_of st initial in
+  let plans, select_cost =
+    List.fold_left
+      (fun (acc, total) (qid, w, q) ->
+        let plan = O.Whatif.plan_select whatif initial ~qid q in
+        (String_map.add qid plan acc, total +. (w *. plan.O.Plan.cost)))
+      (String_map.empty, 0.0) prepared.selects
+  in
+  let root =
+    {
+      id = 0;
+      config = initial;
+      plans;
+      select_cost;
+      shell_cost = shell;
+      cost = select_cost +. shell;
+      size = config_size st initial;
+      parent = None;
+      via = None;
+      actual_penalty = 0.0;
+      untried = [];
+      candidates_ready = false;
+      pruned = false;
+    }
+  in
+  st.next_id <- 1;
+  st.nodes <- [ root ];
+  Hashtbl.replace st.by_id root.id root;
+  Hashtbl.replace st.seen (Config.fingerprint initial) ();
+  let best_trace = ref [] in
+  if root.size <= opts.space_budget then begin
+    st.best <- Some root;
+    best_trace := [ (0, root.cost) ]
+  end;
+  let time_ok () =
+    match opts.time_budget_s with
+    | None -> true
+    | Some s -> Unix.gettimeofday () -. st.started < s
+  in
+  let last = ref root in
+  (try
+     while st.iterations < opts.max_iterations && time_ok () do
+       match pick_configuration st ~last:!last with
+       | None -> raise Exit
+       | Some c -> (
+         ensure_candidates st c;
+         st.candidates_trace <- untried_ready_count st :: st.candidates_trace;
+         match pick_candidate st c with
+         | None -> () (* will be skipped next pick *)
+         | Some cand -> (
+           st.iterations <- st.iterations + 1;
+           match
+             Transform.apply ~estimate_rows:(estimate_view_rows st) c.config
+               cand.tr
+           with
+           | None -> ()
+           | Some config' ->
+             (* §3.5 variant: pile up to k−1 further non-conflicting
+                transformations before evaluating *)
+             let config' =
+               if opts.transforms_per_iteration <= 1 then config'
+               else extend_with_transforms st c config'
+                      (opts.transforms_per_iteration - 1)
+             in
+             let fp = Config.fingerprint config' in
+             if not (Hashtbl.mem st.seen fp) then begin
+               Hashtbl.replace st.seen fp ();
+               match evaluate st ~parent:c ~tr:cand.tr config' with
+               | None -> () (* shortcut-pruned *)
+               | Some node ->
+                 st.nodes <- node :: st.nodes;
+                 Hashtbl.replace st.by_id node.id node;
+                 last := node;
+                 let fits = node.size <= opts.space_budget in
+                 let better =
+                   match st.best with
+                   | None -> fits
+                   | Some b -> fits && node.cost < b.cost
+                 in
+                 if better then begin
+                   st.best <- Some node;
+                   best_trace := (st.iterations, node.cost) :: !best_trace
+                 end
+             end))
+     done
+   with Exit -> ());
+  let calls, hits = O.Whatif.stats whatif in
+  {
+    initial = root;
+    best = st.best;
+    explored =
+      List.rev_map (fun n -> (n.size, n.cost, n.actual_penalty)) st.nodes;
+    best_trace = List.rev !best_trace;
+    iterations = st.iterations;
+    candidates_per_iteration = List.rev st.candidates_trace;
+    optimizer_calls = calls;
+    cache_hits = hits;
+  }

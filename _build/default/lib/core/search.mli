@@ -1,0 +1,94 @@
+(** The relaxation-based search (§3.2–§3.6, Figure 5).
+
+    Starts from the optimal configuration of §2 and repeatedly relaxes
+    configurations from a pool.  Line 6 of the template picks the
+    transformation minimizing [penalty = ΔT / min(Space(C) − B, ΔS)] (with
+    skyline filtering and the ΔT-only denominator once under budget for
+    update workloads, §3.6); line 5 keeps relaxing the last configuration
+    until it fits, then revisits the chain at the largest realized penalty,
+    then falls back to the cheapest configuration with work left (§3.4).
+    Only queries whose plans used a replaced structure are re-optimized;
+    shortcut evaluation aborts hopeless configurations early (§3.5). *)
+
+module Query = Relax_sql.Query
+module Config = Relax_physical.Config
+module O = Relax_optimizer
+module String_map : Map.S with type key = string
+
+(** How line 6 picks among ranked candidates; [Penalty] is the paper's
+    heuristic, the others exist for the ablation study. *)
+type selection =
+  | Penalty
+  | Cost_greedy  (** minimize ΔT only *)
+  | Space_greedy  (** maximize ΔS only *)
+  | Random of int  (** uniformly random, seeded *)
+
+type options = {
+  space_budget : float;  (** B, bytes *)
+  max_iterations : int;
+  time_budget_s : float option;
+  protected : Config.t;  (** base configuration: never transformed *)
+  shortcut_evaluation : bool;  (** §3.5 *)
+  max_candidates_per_node : int;
+  transforms_per_iteration : int;  (** §3.5 variant; paper default 1 *)
+  shrink_configurations : bool;  (** §3.5 variant; default off *)
+  selection : selection;
+}
+
+val default_options : space_budget:float -> options
+
+type candidate = {
+  tr : Transform.t;
+  penalty : float;
+  delta_cost : float;  (** ΔT: upper-bound cost increase *)
+  delta_space : float;  (** ΔS: space saved *)
+}
+
+(** A configuration in the pool, with its evaluated plans and costs. *)
+type node = {
+  id : int;
+  config : Config.t;
+  plans : O.Plan.t String_map.t;
+  select_cost : float;
+  shell_cost : float;
+  cost : float;
+  size : float;
+  parent : int option;
+  via : Transform.t option;
+  actual_penalty : float;
+  mutable untried : candidate list;
+  mutable candidates_ready : bool;
+  mutable pruned : bool;
+}
+
+(** Workload split into optimizable selects (including update select
+    components) and update shells. *)
+type prepared = {
+  selects : (string * float * Query.select_query) list;
+  dmls : (float * Query.dml) list;
+  has_updates : bool;
+}
+
+val prepare : Query.workload -> prepared
+
+type outcome = {
+  initial : node;  (** the optimal configuration's node *)
+  best : node option;  (** best configuration within the budget *)
+  explored : (float * float * float) list;
+      (** (size, cost, realized penalty) of every evaluated node *)
+  best_trace : (int * float) list;
+      (** (iteration, cost) each time a new best valid configuration was
+          found: the tuner's anytime behaviour *)
+  iterations : int;
+  candidates_per_iteration : int list;  (** Figure 6 series *)
+  optimizer_calls : int;
+  cache_hits : int;
+}
+
+val run :
+  Relax_catalog.Catalog.t ->
+  workload:Query.workload ->
+  initial:Config.t ->
+  options ->
+  outcome
+(** Run the relaxation search from an initial (optimal) configuration. *)

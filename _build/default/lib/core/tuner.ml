@@ -1,0 +1,166 @@
+(** The public tuning API: instrument, then relax (the whole paper in one
+    call).
+
+    [tune] derives the optimal configuration by intercepting optimizer
+    requests (§2), then runs the relaxation-based search (§3) until the
+    space budget is met, the iteration cap is reached or time runs out.
+    The result carries everything the evaluation section measures:
+    improvement over the initial configuration, the optimal (unconstrained)
+    configuration and its cost bound, the explored space/cost frontier
+    (Figure 4), candidate-count traces (Figure 6) and request statistics
+    (Table 1). *)
+
+module Query = Relax_sql.Query
+module Config = Relax_physical.Config
+module Catalog = Relax_catalog.Catalog
+module O = Relax_optimizer
+
+type mode = Indexes_only | Indexes_and_views
+
+type options = {
+  mode : mode;
+  space_budget : float;  (** bytes; [infinity] = unconstrained (§4.1) *)
+  base_config : Config.t;
+      (** constraint-enforcing structures present in every configuration *)
+  max_iterations : int;
+  time_budget_s : float option;
+  transforms_per_iteration : int;  (** §3.5 variant; the paper default is 1 *)
+  shrink_configurations : bool;  (** §3.5 variant; default off *)
+  selection : Search.selection;
+      (** transformation-choice strategy; {!Search.Penalty} is the paper's *)
+}
+
+let default_options ?(mode = Indexes_and_views) ~space_budget () =
+  {
+    mode;
+    space_budget;
+    base_config = Config.empty;
+    max_iterations = 400;
+    time_budget_s = None;
+    transforms_per_iteration = 1;
+    shrink_configurations = false;
+    selection = Search.Penalty;
+  }
+
+type result = {
+  workload : Query.workload;
+  initial_cost : float;  (** workload cost under the base configuration *)
+  initial_size : float;
+  optimal : Config.t;
+  optimal_cost : float;
+  optimal_size : float;
+  recommended : Config.t;
+  recommended_cost : float;
+  recommended_size : float;
+  improvement : float;  (** §4's metric, in percent *)
+  lower_bound : float;
+      (** a cost no configuration can beat (tight iff no updates, §3.6) *)
+  frontier : (float * float) list;
+      (** (size, cost) of every configuration explored, for Figure 4 *)
+  candidates_per_iteration : int list;  (** Figure 6 *)
+  request_stats : Instrument.request_stats list;  (** Table 1 *)
+  per_query : (string * float * float) list;
+      (** per statement: (id, cost under base, cost under recommendation) *)
+  best_trace : (int * float) list;
+      (** (iteration, best valid cost): the anytime behaviour of the search *)
+  iterations : int;
+  optimizer_calls : int;
+  cache_hits : int;
+  elapsed_s : float;
+}
+
+(** The paper's quality metric:
+    [improvement(CI, CR, W) = 100 (1 − cost(W, CR) / cost(W, CI))]. *)
+let improvement ~initial ~recommended =
+  100.0 *. (1.0 -. (recommended /. Float.max 1e-9 initial))
+
+let workload_cost catalog config w =
+  let whatif = O.Whatif.create catalog in
+  O.Whatif.workload_cost whatif config w
+
+(** Tune [workload] against [catalog] under [options]. *)
+let tune (catalog : Catalog.t) (workload : Query.workload) (options : options)
+    : result =
+  let t0 = Unix.gettimeofday () in
+  let views = options.mode = Indexes_and_views in
+  let inst =
+    Instrument.optimal_configuration catalog ~base:options.base_config ~views
+      workload
+  in
+  let search_opts =
+    {
+      (Search.default_options ~space_budget:options.space_budget) with
+      max_iterations = options.max_iterations;
+      time_budget_s = options.time_budget_s;
+      protected = options.base_config;
+      transforms_per_iteration = options.transforms_per_iteration;
+      shrink_configurations = options.shrink_configurations;
+      selection = options.selection;
+    }
+  in
+  let outcome =
+    Search.run catalog ~workload ~initial:inst.optimal search_opts
+  in
+  let per_query_whatif = O.Whatif.create catalog in
+  let per_entry config =
+    O.Whatif.per_entry_costs per_query_whatif config workload
+  in
+  let initial_cost = workload_cost catalog options.base_config workload in
+  let initial_size = Config.total_bytes catalog options.base_config in
+  let recommended_node =
+    match outcome.best with
+    | Some n -> n
+    | None ->
+      (* nothing fit the budget: fall back to the base configuration *)
+      outcome.initial
+  in
+  let recommended, recommended_cost, recommended_size =
+    match outcome.best with
+    | Some n -> (n.config, n.cost, n.size)
+    | None -> (options.base_config, initial_cost, initial_size)
+  in
+  ignore recommended_node;
+  let per_query =
+    List.map2
+      (fun (qid, before) (_, after) -> (qid, before, after))
+      (per_entry options.base_config)
+      (per_entry recommended)
+  in
+  (* §3.6 lower bound: optimal select cost plus base-configuration shell
+     cost; with no updates this is simply the optimal configuration cost *)
+  let lower_bound =
+    let prepared = Search.prepare workload in
+    if not prepared.has_updates then outcome.initial.cost
+    else begin
+      let base_env = O.Env.make catalog options.base_config in
+      outcome.initial.select_cost
+      +. List.fold_left
+           (fun acc (w, d) ->
+             acc
+             +. w
+                *. O.Update_cost.shell_cost base_env options.base_config d)
+           0.0 prepared.dmls
+    end
+  in
+  {
+    workload;
+    initial_cost;
+    initial_size;
+    optimal = outcome.initial.config;
+    optimal_cost = outcome.initial.cost;
+    optimal_size = outcome.initial.size;
+    recommended;
+    recommended_cost;
+    recommended_size;
+    improvement = improvement ~initial:initial_cost ~recommended:recommended_cost;
+    lower_bound;
+    frontier = List.map (fun (s, c, _) -> (s, c)) outcome.explored;
+    candidates_per_iteration = outcome.candidates_per_iteration;
+    request_stats = inst.stats;
+    per_query;
+    best_trace = outcome.best_trace;
+    iterations = outcome.iterations;
+    optimizer_calls = outcome.optimizer_calls;
+    cache_hits = outcome.cache_hits;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,60 @@
+(** The public tuning API: instrument, then relax — the whole paper in one
+    call. *)
+
+module Query = Relax_sql.Query
+module Config = Relax_physical.Config
+module Catalog = Relax_catalog.Catalog
+
+type mode = Indexes_only | Indexes_and_views
+
+type options = {
+  mode : mode;
+  space_budget : float;  (** bytes; [infinity] = unconstrained (§4.1) *)
+  base_config : Config.t;
+      (** constraint-enforcing structures present in every configuration *)
+  max_iterations : int;
+  time_budget_s : float option;
+  transforms_per_iteration : int;  (** §3.5 variant; paper default 1 *)
+  shrink_configurations : bool;  (** §3.5 variant; default off *)
+  selection : Search.selection;  (** {!Search.Penalty} is the paper's *)
+}
+
+val default_options : ?mode:mode -> space_budget:float -> unit -> options
+
+type result = {
+  workload : Query.workload;
+  initial_cost : float;  (** under the base configuration *)
+  initial_size : float;
+  optimal : Config.t;
+  optimal_cost : float;
+  optimal_size : float;
+  recommended : Config.t;
+  recommended_cost : float;
+  recommended_size : float;
+  improvement : float;  (** §4's metric, percent *)
+  lower_bound : float;
+      (** cost no configuration can beat (tight iff no updates, §3.6) *)
+  frontier : (float * float) list;
+      (** (size, cost) of every explored configuration (Figure 4) *)
+  candidates_per_iteration : int list;  (** Figure 6 *)
+  request_stats : Instrument.request_stats list;  (** Table 1 *)
+  per_query : (string * float * float) list;
+      (** per statement: (id, cost under base, cost under recommendation) *)
+  best_trace : (int * float) list;
+      (** (iteration, best valid cost): the anytime behaviour of the search *)
+  iterations : int;
+  optimizer_calls : int;
+  cache_hits : int;
+  elapsed_s : float;
+}
+
+val improvement : initial:float -> recommended:float -> float
+(** [100 (1 − recommended/initial)]. *)
+
+val workload_cost : Catalog.t -> Config.t -> Query.workload -> float
+
+val tune : Catalog.t -> Query.workload -> options -> result
+(** Derive the optimal configuration by intercepting optimizer requests
+    (§2), then relax until the budget is met or iterations/time run out
+    (§3).  When nothing fits the budget, the recommendation falls back to
+    the base configuration. *)

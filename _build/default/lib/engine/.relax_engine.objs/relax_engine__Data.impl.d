@@ -1,0 +1,1 @@
+lib/engine/data.ml: Array Column Float Hashtbl List Printf Relax_catalog Relax_sql

@@ -1,0 +1,1 @@
+lib/engine/data.mli: Hashtbl Relax_catalog Relax_sql

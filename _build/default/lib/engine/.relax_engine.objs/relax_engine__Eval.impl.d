@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Array Column Data Float Hashtbl List Option Relax_physical Relax_sql Seq Value

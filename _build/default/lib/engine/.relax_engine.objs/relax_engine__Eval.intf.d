@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Data Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/engine/measure.ml: Array Column Column_set Data Eval Float Hashtbl List Relax_optimizer Relax_physical Relax_sql

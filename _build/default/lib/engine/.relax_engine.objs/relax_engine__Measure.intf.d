@@ -1,0 +1,1 @@
+lib/engine/measure.mli: Data Eval Relax_optimizer

@@ -1,0 +1,1 @@
+lib/engine/validate.ml: Data Eval Float Fmt Hashtbl List Measure Relax_optimizer Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/engine/validate.mli: Data Format Relax_physical Relax_sql

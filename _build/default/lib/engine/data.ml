@@ -1,0 +1,82 @@
+(** Concrete table data, generated from the catalog's column
+    distributions.
+
+    The tuning pipeline itself never touches rows (like the paper's tools);
+    this engine exists to {e validate} it: with real rows we can measure
+    true cardinalities and page accesses and compare them against the
+    optimizer's estimates (the [validate] benchmark). *)
+
+open Relax_sql.Types
+module Catalog = Relax_catalog.Catalog
+module Rng = Relax_catalog.Rng
+module D = Relax_catalog.Distribution
+
+(** One relation's rows: column-name schema plus row-major float data
+    (values use the same order-preserving float embedding as the
+    statistics). *)
+type relation = {
+  rel_name : string;
+  schema : column array;
+  rows : float array array;
+}
+
+let column_index (r : relation) (c : column) =
+  let n = Array.length r.schema in
+  let rec go i =
+    if i >= n then
+      invalid_arg
+        (Printf.sprintf "Data: %s has no column %s" r.rel_name
+           (Column.to_string c))
+    else if Column.equal r.schema.(i) c then i
+    else go (i + 1)
+  in
+  go 0
+
+let row_count (r : relation) = Array.length r.rows
+
+(** Generate one base table from its catalog definition. *)
+let generate_table ?(seed = 7) (cat : Catalog.t) (name : string) : relation =
+  let td = Catalog.table_exn cat name in
+  let schema =
+    Array.of_list (List.map (fun (c : Catalog.column_def) -> Column.make name c.cname) td.cols)
+  in
+  let dists = Array.of_list (List.map (fun (c : Catalog.column_def) -> c.dist) td.cols) in
+  let rngs =
+    Array.init (Array.length dists) (fun i ->
+        Rng.create (seed + Hashtbl.hash (name, i)))
+  in
+  let rows =
+    Array.init td.rows (fun row ->
+        Array.init (Array.length dists) (fun i ->
+            (* integers stay integral so equality predicates can hit *)
+            let v = D.draw dists.(i) rngs.(i) ~row in
+            match (List.nth td.cols i).ctype with
+            | Int | Date | Char _ | Varchar _ -> Float.round v
+            | Float -> v))
+  in
+  { rel_name = name; schema; rows }
+
+(** An in-memory database: lazily generated base tables plus materialized
+    views (registered by the validator). *)
+type t = {
+  catalog : Catalog.t;
+  seed : int;
+  relations : (string, relation) Hashtbl.t;
+}
+
+let create ?(seed = 7) catalog = { catalog; seed; relations = Hashtbl.create 16 }
+
+let relation t name : relation =
+  match Hashtbl.find_opt t.relations name with
+  | Some r -> r
+  | None ->
+    if not (Catalog.mem_table t.catalog name) then
+      invalid_arg ("Data: unknown relation " ^ name);
+    let r = generate_table ~seed:t.seed t.catalog name in
+    Hashtbl.replace t.relations name r;
+    r
+
+(** Register a computed relation (a materialized view's contents). *)
+let register t (r : relation) = Hashtbl.replace t.relations r.rel_name r
+
+let mem t name = Hashtbl.mem t.relations name || Catalog.mem_table t.catalog name

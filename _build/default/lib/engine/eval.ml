@@ -1,0 +1,286 @@
+(** Logical evaluation of predicates, expressions and whole SPJG blocks
+    against concrete rows: the reference semantics the measurement layer
+    compares the optimizer's estimates against. *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+module Predicate = Relax_sql.Predicate
+module Expr = Relax_sql.Expr
+
+(** A bag of rows with a schema. *)
+type rowset = {
+  schema : column array;
+  rows : float array array;
+}
+
+let of_relation (r : Data.relation) : rowset =
+  { schema = r.schema; rows = r.rows }
+
+let cardinality rs = Array.length rs.rows
+
+let index_of (rs : rowset) (c : column) =
+  let n = Array.length rs.schema in
+  let rec go i =
+    if i >= n then
+      invalid_arg ("Eval: no column " ^ Column.to_string c)
+    else if Column.equal rs.schema.(i) c then i
+    else go (i + 1)
+  in
+  go 0
+
+(* --- scalar evaluation ---------------------------------------------------- *)
+
+exception Unsupported of string
+
+let rec eval_expr (rs : rowset) (row : float array) (e : Expr.t) : float =
+  match e with
+  | Col c -> row.(index_of rs c)
+  | Const v -> Value.to_float v
+  | Neg e -> -.eval_expr rs row e
+  | Bin (op, a, b) -> (
+    let x = eval_expr rs row a and y = eval_expr rs row b in
+    match op with
+    | Add -> x +. y
+    | Sub -> x -. y
+    | Mul -> x *. y
+    | Div -> if y = 0.0 then 0.0 else x /. y)
+  | Cmp _ | And _ | Or _ | Not _ | Like _ | In_list _ ->
+    if eval_pred rs row e then 1.0 else 0.0
+
+and eval_pred (rs : rowset) (row : float array) (e : Expr.t) : bool =
+  match e with
+  | Cmp (op, a, b) -> (
+    let x = eval_expr rs row a and y = eval_expr rs row b in
+    match op with
+    | Eq -> x = y
+    | Neq -> x <> y
+    | Lt -> x < y
+    | Le -> x <= y
+    | Gt -> x > y
+    | Ge -> x >= y)
+  | And (a, b) -> eval_pred rs row a && eval_pred rs row b
+  | Or (a, b) -> eval_pred rs row a || eval_pred rs row b
+  | Not a -> not (eval_pred rs row a)
+  | In_list (a, vs) ->
+    let x = eval_expr rs row a in
+    List.exists (fun v -> Value.to_float v = x) vs
+  | Like _ -> raise (Unsupported "LIKE is not executable on numeric data")
+  | Col _ | Const _ | Neg _ | Bin _ -> eval_expr rs row e <> 0.0
+
+let eval_range (rs : rowset) (row : float array) (r : Predicate.range) : bool =
+  let x = row.(index_of rs r.rcol) in
+  (match r.lo with
+  | None -> true
+  | Some b ->
+    let v = Value.to_float b.value in
+    if b.inclusive then x >= v else x > v)
+  && (match r.hi with
+     | None -> true
+     | Some b ->
+       let v = Value.to_float b.value in
+       if b.inclusive then x <= v else x < v)
+
+(** Filter a rowset by classified conjuncts. *)
+let filter (rs : rowset) ~(ranges : Predicate.range list)
+    ~(others : Expr.t list) : rowset =
+  let keep row =
+    List.for_all (eval_range rs row) ranges
+    && List.for_all (eval_pred rs row) others
+  in
+  { rs with rows = Array.of_seq (Seq.filter keep (Array.to_seq rs.rows)) }
+
+(** Count without materializing. *)
+let count_matching (rs : rowset) ~ranges ~others =
+  Array.fold_left
+    (fun acc row ->
+      if
+        List.for_all (eval_range rs row) ranges
+        && List.for_all (eval_pred rs row) others
+      then acc + 1
+      else acc)
+    0 rs.rows
+
+(** Matching row indices (for page-locality measurements). *)
+let matching_indices (rs : rowset) ~ranges ~others : int list =
+  let acc = ref [] in
+  Array.iteri
+    (fun i row ->
+      if
+        List.for_all (eval_range rs row) ranges
+        && List.for_all (eval_pred rs row) others
+      then acc := i :: !acc)
+    rs.rows;
+  List.rev !acc
+
+(* --- joins ----------------------------------------------------------------- *)
+
+(** Exact hash equi-join of two rowsets on the given predicates (schemas
+    concatenate). *)
+let hash_join (l : rowset) (r : rowset) (joins : Predicate.join list) : rowset
+    =
+  let schema = Array.append l.schema r.schema in
+  if joins = [] then begin
+    (* cartesian product *)
+    let rows =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun lrow -> Array.map (fun rrow -> Array.append lrow rrow) r.rows)
+              l.rows))
+    in
+    { schema; rows }
+  end
+  else begin
+    let on_left (j : Predicate.join) =
+      Array.exists (Column.equal j.left) l.schema
+    in
+    let key_cols_l, key_cols_r =
+      List.split
+        (List.map
+           (fun (j : Predicate.join) ->
+             if on_left j then (index_of l j.left, index_of r j.right)
+             else (index_of l j.right, index_of r j.left))
+           joins)
+    in
+    let key cols row = List.map (fun i -> row.(i)) cols in
+    let tbl = Hashtbl.create (Array.length l.rows) in
+    Array.iter
+      (fun lrow ->
+        let k = key key_cols_l lrow in
+        Hashtbl.add tbl k lrow)
+      l.rows;
+    let out = ref [] in
+    Array.iter
+      (fun rrow ->
+        let k = key key_cols_r rrow in
+        List.iter
+          (fun lrow -> out := Array.append lrow rrow :: !out)
+          (Hashtbl.find_all tbl k))
+      r.rows;
+    { schema; rows = Array.of_list !out }
+  end
+
+(* --- grouping ---------------------------------------------------------------- *)
+
+let apply_agg (f : Query.agg_fn) (values : float list) : float =
+  match (f, values) with
+  | Count, vs -> float_of_int (List.length vs)
+  | Sum, vs -> List.fold_left ( +. ) 0.0 vs
+  | Min, v :: vs -> List.fold_left Float.min v vs
+  | Max, v :: vs -> List.fold_left Float.max v vs
+  | Avg, (_ :: _ as vs) ->
+    List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
+  | (Min | Max | Avg), [] -> 0.0
+
+(** Exact group-by: output schema is [keys] then one pseudo-column per
+    aggregate item (named via {!Relax_physical.View.item_name} under a
+    synthetic relation ["$agg"]). *)
+let group_by (rs : rowset) ~(keys : column list)
+    ~(aggs : Query.select_item list) : rowset =
+  let key_idx = List.map (index_of rs) keys in
+  let tbl : (float list, float array list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun row ->
+      let k = List.map (fun i -> row.(i)) key_idx in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (row :: prev))
+    rs.rows;
+  let agg_items =
+    List.filter_map
+      (function Query.Item_agg (f, arg) -> Some (f, arg) | Query.Item_col _ -> None)
+      aggs
+  in
+  let schema =
+    Array.of_list
+      (keys
+      @ List.map
+          (fun (f, arg) ->
+            Column.make "$agg"
+              (Relax_physical.View.item_name (Query.Item_agg (f, arg))))
+          agg_items)
+  in
+  let rows =
+    Hashtbl.fold
+      (fun k members acc ->
+        let agg_vals =
+          List.map
+            (fun (f, arg) ->
+              match arg with
+              | None -> float_of_int (List.length members)
+              | Some c ->
+                let i = index_of rs c in
+                apply_agg f (List.map (fun row -> row.(i)) members))
+            agg_items
+        in
+        Array.of_list (k @ agg_vals) :: acc)
+      tbl []
+  in
+  { schema; rows = Array.of_list rows }
+
+(* --- whole blocks ------------------------------------------------------------ *)
+
+(** Execute an SPJG block exactly: the reference result. *)
+let spjg (db : Data.t) (q : Query.spjg) : rowset =
+  let joined, applied =
+    match q.tables with
+    | [] -> invalid_arg "Eval.spjg: no tables"
+    | first :: rest ->
+      (* join in FROM order, applying whichever join predicates connect *)
+      List.fold_left
+        (fun (acc, applied) t ->
+          let next = of_relation (Data.relation db t) in
+          let connecting =
+            List.filter
+              (fun (j : Predicate.join) ->
+                let has rs c = Array.exists (Column.equal c) rs.schema in
+                (has acc j.left && has next j.right)
+                || (has acc j.right && has next j.left))
+              q.joins
+          in
+          (hash_join acc next connecting, connecting @ applied))
+        (of_relation (Data.relation db first), [])
+        rest
+  in
+  (* join predicates closing cycles between already-joined tables *)
+  let residual_joins =
+    List.filter_map
+      (fun (j : Predicate.join) ->
+        if Predicate.join_mem j applied then None
+        else Some (Predicate.join_to_expr j))
+      q.joins
+  in
+  let filtered =
+    filter joined ~ranges:q.ranges ~others:(q.others @ residual_joins)
+  in
+  if q.group_by <> [] || Query.has_aggregates q then
+    group_by filtered ~keys:q.group_by ~aggs:q.select
+  else filtered
+
+(** Materialize a view's contents and register it in the database so later
+    accesses measure against real view rows.  The relation's schema uses the
+    view's mangled output columns. *)
+let materialize_view (db : Data.t) (v : Relax_physical.View.t) : Data.relation
+    =
+  let name = Relax_physical.View.name v in
+  let def = Relax_physical.View.definition v in
+  let rs = spjg db def in
+  (* map block-output schema to view column names, in select order *)
+  let module View = Relax_physical.View in
+  let out_schema =
+    Array.of_list
+      (List.map (fun (_, it) -> View.column_of_item v it) (View.outputs v))
+  in
+  let source_index (it : Query.select_item) =
+    match it with
+    | Query.Item_col c -> index_of rs c
+    | Query.Item_agg (f, arg) ->
+      index_of rs
+        (Column.make "$agg" (View.item_name (Query.Item_agg (f, arg))))
+  in
+  let idxs = List.map (fun (_, it) -> source_index it) (View.outputs v) in
+  let rows =
+    Array.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs)) rs.rows
+  in
+  let r = { Data.rel_name = name; schema = out_schema; rows } in
+  Data.register db r;
+  r

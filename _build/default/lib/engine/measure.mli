@@ -1,0 +1,21 @@
+(** Measured execution: walk an optimizer plan against real rows, computing
+    exact intermediate cardinalities and page accesses, priced with the
+    optimizer's own cost constants (so estimated-vs-measured differences
+    isolate cardinality error and page locality, not unit mismatches). *)
+
+type measured = {
+  rows : Eval.rowset;  (** the exact result of the sub-plan *)
+  cost : float;  (** measured cost in the optimizer's units *)
+}
+
+exception Unmeasurable of string
+
+val access : Data.t -> Relax_optimizer.Env.t -> Relax_optimizer.Plan.access_info -> measured
+(** Measure one single-relation access exactly (view accesses alias their
+    plain outputs with the base columns they expose, so upstream plan nodes
+    resolve). *)
+
+val plan : Data.t -> Relax_optimizer.Env.t -> Relax_optimizer.Plan.t -> measured
+(** Measure a whole plan.
+    @raise Unmeasurable on malformed plans.
+    @raise Eval.Unsupported for non-executable predicates. *)

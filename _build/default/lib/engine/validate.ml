@@ -1,0 +1,106 @@
+(** Cost-model validation: optimize a workload under a configuration, then
+    execute the chosen plans against real rows and compare.
+
+    Reports per-query estimated vs measured cost and estimated vs true
+    output cardinality, plus the statistic that matters for physical design:
+    whether the model ranks configurations in the same order real execution
+    does ("who wins" preservation). *)
+
+module Query = Relax_sql.Query
+module Config = Relax_physical.Config
+module O = Relax_optimizer
+
+type query_report = {
+  qid : string;
+  estimated_cost : float;
+  measured_cost : float;
+  estimated_rows : float;
+  true_rows : float;
+}
+
+type report = {
+  queries : query_report list;
+  estimated_total : float;
+  measured_total : float;
+}
+
+(** Validate one configuration against one workload (select statements
+    only; update shells have no plan to execute). *)
+let run (db : Data.t) (config : Config.t) (workload : Query.workload) : report
+    =
+  let env = O.Env.make db.catalog config in
+  (* materialize only the views the chosen plans actually read *)
+  let ensure_views plan =
+    List.iter
+      (fun (a : O.Plan.access_info) ->
+        match Config.find_view config a.rel with
+        | Some (v, _) when not (Hashtbl.mem db.relations a.rel) ->
+          ignore (Eval.materialize_view db v)
+        | _ -> ())
+      (O.Plan.accesses plan)
+  in
+  let queries =
+    List.filter_map
+      (fun (e : Query.entry) ->
+        match e.stmt with
+        | Select sq -> (
+          let plan = O.Optimizer.optimize db.catalog config sq in
+          ensure_views plan;
+          match Measure.plan db env plan with
+          | m ->
+            Some
+              {
+                qid = e.qid;
+                estimated_cost = plan.cost;
+                measured_cost = m.cost;
+                estimated_rows = plan.rows;
+                true_rows = float_of_int (Eval.cardinality m.rows);
+              }
+          | exception (Eval.Unsupported _ | Measure.Unmeasurable _) -> None)
+        | Dml _ -> None)
+      workload
+  in
+  {
+    queries;
+    estimated_total =
+      List.fold_left (fun a q -> a +. q.estimated_cost) 0.0 queries;
+    measured_total =
+      List.fold_left (fun a q -> a +. q.measured_cost) 0.0 queries;
+  }
+
+(** Does the cost model pick the same winner real execution picks?
+    Compares two configurations on one workload. *)
+let same_winner (db : Data.t) c1 c2 workload =
+  let r1 = run db c1 workload and r2 = run db c2 workload in
+  let est = compare r1.estimated_total r2.estimated_total in
+  let msr = compare r1.measured_total r2.measured_total in
+  (est = 0 && msr = 0) || est * msr > 0
+
+(** Geometric-mean cardinality estimation error (q-error). *)
+let q_error (r : report) =
+  let logs =
+    List.filter_map
+      (fun q ->
+        if q.true_rows <= 0.0 || q.estimated_rows <= 0.0 then None
+        else
+          Some
+            (Float.abs (Float.log (q.estimated_rows /. q.true_rows))))
+      r.queries
+  in
+  match logs with
+  | [] -> 1.0
+  | _ ->
+    Float.exp
+      (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>%-10s %12s %12s %12s %12s@," "query" "est cost"
+    "measured" "est rows" "true rows";
+  List.iter
+    (fun q ->
+      Fmt.pf ppf "%-10s %12.1f %12.1f %12.0f %12.0f@," q.qid q.estimated_cost
+        q.measured_cost q.estimated_rows q.true_rows)
+    r.queries;
+  Fmt.pf ppf "%-10s %12.1f %12.1f   (q-error %.2f)@," "total"
+    r.estimated_total r.measured_total (q_error r);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,36 @@
+(** Cost-model validation: optimize a workload under a configuration, then
+    execute the chosen plans against real rows and compare estimated with
+    measured. *)
+
+type query_report = {
+  qid : string;
+  estimated_cost : float;
+  measured_cost : float;
+  estimated_rows : float;
+  true_rows : float;
+}
+
+type report = {
+  queries : query_report list;
+  estimated_total : float;
+  measured_total : float;
+}
+
+val run :
+  Data.t -> Relax_physical.Config.t -> Relax_sql.Query.workload -> report
+(** Select statements only; views used by the chosen plans are materialized
+    on demand; queries with non-executable predicates are skipped. *)
+
+val same_winner :
+  Data.t ->
+  Relax_physical.Config.t ->
+  Relax_physical.Config.t ->
+  Relax_sql.Query.workload ->
+  bool
+(** Does the cost model rank the two configurations the way measured
+    execution does? *)
+
+val q_error : report -> float
+(** Geometric-mean cardinality estimation error. *)
+
+val pp_report : Format.formatter -> report -> unit

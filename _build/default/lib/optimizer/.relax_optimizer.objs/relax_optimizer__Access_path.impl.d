@@ -1,0 +1,1 @@
+lib/optimizer/access_path.ml: Column Column_set Cost_params Env Float Hooks List Plan Relax_catalog Relax_physical Relax_sql Request Selectivity

@@ -1,0 +1,1 @@
+lib/optimizer/access_path.mli: Env Hooks Plan Relax_physical Relax_sql Request

@@ -1,0 +1,1 @@
+lib/optimizer/cardinality.ml: Env Float List Relax_sql Selectivity

@@ -1,0 +1,1 @@
+lib/optimizer/cardinality.mli: Env Relax_sql

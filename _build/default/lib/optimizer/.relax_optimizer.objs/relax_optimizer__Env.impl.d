@@ -1,0 +1,1 @@
+lib/optimizer/env.ml: Float Histogram_stub List Relax_catalog Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/optimizer/env.mli: Relax_catalog Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/optimizer/histogram_stub.ml: Relax_catalog

@@ -1,0 +1,1 @@
+lib/optimizer/hooks.ml: Relax_sql Request

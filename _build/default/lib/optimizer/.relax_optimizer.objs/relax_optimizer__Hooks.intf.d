@@ -1,0 +1,1 @@
+lib/optimizer/hooks.mli: Relax_sql Request

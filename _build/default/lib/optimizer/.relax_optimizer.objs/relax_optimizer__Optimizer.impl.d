@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Access_path Array Cardinality Column_set Cost_params Env Float Hashtbl Hooks List Logs Plan Relax_physical Relax_sql Request View_match

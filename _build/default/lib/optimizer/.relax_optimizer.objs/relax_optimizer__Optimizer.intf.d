@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Env Hooks Plan Relax_catalog Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Column Column_set Fmt List Relax_physical Relax_sql Request

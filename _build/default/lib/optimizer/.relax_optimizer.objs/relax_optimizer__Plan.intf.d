@@ -1,0 +1,1 @@
+lib/optimizer/plan.mli: Column_set Format Relax_physical Relax_sql Request

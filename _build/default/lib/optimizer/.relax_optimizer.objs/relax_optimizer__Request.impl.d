@@ -1,0 +1,1 @@
+lib/optimizer/request.ml: Column Column_set Fmt List Relax_sql String

@@ -1,0 +1,1 @@
+lib/optimizer/request.mli: Column_set Format Relax_sql

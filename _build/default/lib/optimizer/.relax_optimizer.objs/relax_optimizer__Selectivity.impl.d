@@ -1,0 +1,1 @@
+lib/optimizer/selectivity.ml: Env Float List Relax_catalog Relax_sql String Value

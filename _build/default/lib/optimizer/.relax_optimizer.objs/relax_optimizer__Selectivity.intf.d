@@ -1,0 +1,1 @@
+lib/optimizer/selectivity.mli: Env Relax_sql

@@ -1,0 +1,1 @@
+lib/optimizer/update_cost.ml: Column_set Cost_params Env Float List Relax_physical Relax_sql Selectivity

@@ -1,0 +1,1 @@
+lib/optimizer/update_cost.mli: Env Relax_physical Relax_sql

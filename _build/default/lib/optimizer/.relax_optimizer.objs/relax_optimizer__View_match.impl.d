@@ -1,0 +1,1 @@
+lib/optimizer/view_match.ml: Column Column_set List Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/optimizer/view_match.mli: Column_set Relax_physical Relax_sql

@@ -1,0 +1,1 @@
+lib/optimizer/whatif.ml: Env Hashtbl List Optimizer Plan Relax_catalog Relax_physical Relax_sql Update_cost

@@ -1,0 +1,1 @@
+lib/optimizer/whatif.mli: Plan Relax_catalog Relax_physical Relax_sql

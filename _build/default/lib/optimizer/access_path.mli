@@ -1,0 +1,32 @@
+(** Single-relation access-path selection — the optimizer's unique entry
+    point for physical index strategies (§2, Figure 2).
+
+    Generated plans instantiate the paper's template tree: index seeks or
+    scans at the leaves, binary rid intersections, an optional rid lookup
+    for missing columns, an optional filter for non-sargable predicates, and
+    an optional sort to enforce order (Figure 1).  The cheapest alternative
+    wins. *)
+
+val order_satisfied :
+  delivered:(Relax_sql.Types.column * Relax_sql.Types.order_dir) list ->
+  required:(Relax_sql.Types.column * Relax_sql.Types.order_dir) list ->
+  bool
+(** Direction-insensitive prefix test (indexes scan both ways). *)
+
+val add_sort :
+  Env.t ->
+  Plan.t ->
+  required:(Relax_sql.Types.column * Relax_sql.Types.order_dir) list ->
+  Plan.t
+(** Enforce an order with a sort operator when the plan does not already
+    deliver it. *)
+
+val best :
+  Env.t ->
+  ?hooks:Hooks.t ->
+  ?via_view:Relax_physical.View.t ->
+  Request.t ->
+  Plan.t
+(** Pick the cheapest physical strategy for a request, firing the
+    [on_index_request] hook first.  The result is wrapped in an
+    [Plan.Access] node carrying the usage records. *)

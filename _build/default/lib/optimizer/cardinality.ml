@@ -1,0 +1,46 @@
+(** Cardinality estimation for SPJG blocks.
+
+    This is the optimizer's "cardinality module", which the paper reuses to
+    estimate the row count of candidate materialized views (§3.3.1) — we do
+    the same. *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+module Predicate = Relax_sql.Predicate
+
+(** Estimated rows of the join of [tables] under the given predicates
+    (before any grouping). *)
+let join_rows env ~tables ~(joins : Predicate.join list)
+    ~(ranges : Predicate.range list) ~others =
+  let base =
+    List.fold_left (fun acc t -> acc *. Env.rows env t) 1.0 tables
+  in
+  let with_joins =
+    List.fold_left (fun acc j -> acc *. Selectivity.join env j) base joins
+  in
+  let sel = Selectivity.local env ~ranges ~others in
+  Float.max 1.0 (with_joins *. sel)
+
+(** Estimated distinct groups when grouping [input_rows] rows by [keys]. *)
+let group_rows env ~input_rows (keys : column list) =
+  if keys = [] then 1.0
+  else
+    let prod =
+      List.fold_left
+        (fun acc c ->
+          match Env.col_stats_opt env c with
+          | Some s -> acc *. Float.max 1.0 s.distinct
+          | None -> acc *. 100.0)
+        1.0 keys
+    in
+    Float.max 1.0 (Float.min prod input_rows)
+
+(** Output cardinality of a full SPJG block. *)
+let spjg env (q : Query.spjg) =
+  let rows =
+    join_rows env ~tables:q.tables ~joins:q.joins ~ranges:q.ranges
+      ~others:q.others
+  in
+  if q.group_by <> [] then group_rows env ~input_rows:rows q.group_by
+  else if Query.has_aggregates q then 1.0
+  else rows

@@ -1,0 +1,17 @@
+(** Cardinality estimation for SPJG blocks — the optimizer's "cardinality
+    module", also reused to estimate candidate view sizes (§3.3.1). *)
+
+val join_rows :
+  Env.t ->
+  tables:string list ->
+  joins:Relax_sql.Predicate.join list ->
+  ranges:Relax_sql.Predicate.range list ->
+  others:Relax_sql.Expr.t list ->
+  float
+(** Rows of the (pre-grouping) join under the given predicates. *)
+
+val group_rows : Env.t -> input_rows:float -> Relax_sql.Types.column list -> float
+(** Distinct groups when grouping [input_rows] rows by the given keys. *)
+
+val spjg : Env.t -> Relax_sql.Query.spjg -> float
+(** Output cardinality of a full block. *)

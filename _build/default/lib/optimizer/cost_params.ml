@@ -1,0 +1,48 @@
+(** Cost-model constants, in abstract "time units".
+
+    The unit is calibrated so that one sequential page read costs 1.0 — all
+    other constants are relative to that, in the usual textbook proportions.
+    Absolute values are irrelevant to the reproduction (the paper compares
+    configurations under one fixed model); what matters is that seeks beat
+    scans when selective, random I/O is much more expensive than sequential,
+    and CPU work is visible but small. *)
+
+let seq_page = 1.0  (** sequential page read *)
+
+let rand_page = 4.0  (** random page read *)
+
+let cpu_tuple = 0.005  (** per-row pipeline processing *)
+
+let cpu_compare = 0.002  (** per-comparison (sorting) *)
+
+let cpu_hash = 0.008  (** per-row hash-table build/probe *)
+
+let cpu_agg = 0.004  (** per-row aggregate update *)
+
+let cpu_eval = 0.002  (** per-row predicate evaluation *)
+
+let sort_memory_pages = 4096.0
+(** pages that fit in the sort work area; larger inputs spill and pay extra
+    I/O passes *)
+
+let lookup_cluster_discount = 0.5
+(** rid lookups into a clustered index hit fewer distinct pages than into a
+    heap, on average *)
+
+(** Cost of sorting [rows] rows occupying [pages] pages. *)
+let sort_cost ~rows ~pages =
+  let rows = Float.max 1.0 rows in
+  let cpu = rows *. Float.log2 rows *. cpu_compare in
+  if pages <= sort_memory_pages then cpu
+  else
+    (* external merge sort: one extra write+read pass per merge level *)
+    let passes = Float.ceil (Float.log (pages /. sort_memory_pages) /. Float.log 8.0) in
+    cpu +. (2.0 *. passes *. pages *. seq_page)
+
+(** Cost of [rows] rid lookups against a table stored on [table_pages]
+    pages.  Random fetches, capped: touching more lookups than pages
+    degrades into roughly one fetch per page. *)
+let rid_lookup_cost ~rows ~table_pages ~clustered =
+  let per = if clustered then rand_page *. lookup_cluster_discount else rand_page in
+  let fetches = Float.min rows (table_pages *. 2.0) in
+  (fetches *. per) +. (rows *. cpu_tuple)

@@ -1,0 +1,109 @@
+(** Optimization environment: the catalog extended with the derived tables
+    that simulate the configuration's materialized views.
+
+    This implements the what-if principle: a hypothetical view becomes
+    visible to the optimizer purely as metadata — a derived table whose
+    column statistics are synthesized from the base tables it projects. *)
+
+open Relax_sql.Types
+module Catalog = Relax_catalog.Catalog
+module Config = Relax_physical.Config
+module View = Relax_physical.View
+
+type t = {
+  cat : Catalog.t;  (** includes derived view tables *)
+  config : Config.t;
+}
+
+(** Synthesize statistics for one view output column. *)
+let stats_for_item cat ~view_rows (it : Relax_sql.Query.select_item) :
+    Catalog.col_stats =
+  match it with
+  | Item_col base -> (
+    match Catalog.col_stats_opt cat base with
+    | Some s -> { s with distinct = Float.min s.distinct view_rows }
+    | None ->
+      {
+        stype = Float;
+        width = 8.0;
+        distinct = view_rows;
+        min_v = 0.0;
+        max_v = 1.0;
+        hist = Histogram_stub.unit_hist;
+      })
+  | Item_agg (Count, _) ->
+    {
+      stype = Int;
+      width = 8.0;
+      distinct = Float.max 1.0 (sqrt view_rows);
+      min_v = 1.0;
+      max_v = view_rows;
+      hist = Histogram_stub.uniform 1.0 (Float.max 2.0 view_rows);
+    }
+  | Item_agg ((Sum | Min | Max | Avg), Some base) -> (
+    match Catalog.col_stats_opt cat base with
+    | Some s ->
+      { s with width = 8.0; distinct = Float.min view_rows s.distinct }
+    | None ->
+      {
+        stype = Float;
+        width = 8.0;
+        distinct = view_rows;
+        min_v = 0.0;
+        max_v = 1e9;
+        hist = Histogram_stub.uniform 0.0 1e9;
+      })
+  | Item_agg ((Sum | Min | Max | Avg), None) ->
+    {
+      stype = Float;
+      width = 8.0;
+      distinct = view_rows;
+      min_v = 0.0;
+      max_v = 1e9;
+      hist = Histogram_stub.uniform 0.0 1e9;
+    }
+
+(** Build the environment for optimizing under [config]. *)
+let make cat (config : Config.t) : t =
+  let cat =
+    List.fold_left
+      (fun cat (v, rows) ->
+        let name = View.name v in
+        let cols =
+          if Catalog.known_derived cat name then []
+            (* statistics already synthesized on a previous simulation *)
+          else
+            List.map
+              (fun (cname, it) -> (cname, stats_for_item cat ~view_rows:rows it))
+              (View.outputs v)
+        in
+        Catalog.add_derived_table cat ~name ~rows ~cols)
+      cat
+      (Config.views_with_rows config)
+  in
+  { cat; config }
+
+let rows t rel = Config.relation_rows t.cat t.config rel
+
+let col_stats t (c : column) = Catalog.col_stats t.cat c
+
+let col_stats_opt t (c : column) = Catalog.col_stats_opt t.cat c
+
+let row_width t rel = Config.relation_row_width t.cat t.config rel
+
+let width_of t c = Config.column_width t.cat t.config c
+
+(** All indexes available on a relation under this environment. *)
+let indexes_on t rel = Config.indexes_on t.config rel
+
+let clustered_on t rel = Config.clustered_on t.config rel
+
+(** Heap (or clustered) pages of a relation: what a full scan reads. *)
+let table_pages t rel =
+  match clustered_on t rel with
+  | Some ci ->
+    Relax_physical.Size_model.leaf_pages ~rows:(rows t rel)
+      ~width_of:(width_of t) ~row_width:(row_width t rel) ci
+  | None ->
+    Relax_physical.Size_model.heap_pages ~rows:(rows t rel)
+      ~row_width:(row_width t rel) ()

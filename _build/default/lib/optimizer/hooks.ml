@@ -1,0 +1,19 @@
+(** Instrumentation hooks (Figure 2).
+
+    In tuning mode, the tuner registers callbacks that fire on each index
+    request (at access-path selection) and each view request (at view
+    matching).  In normal mode no hooks are installed and the optimizer
+    behaves like a production system. *)
+
+type t = {
+  on_index_request : Request.t -> unit;
+  on_view_request : Relax_sql.Query.spjg -> unit;
+}
+
+let none = { on_index_request = ignore; on_view_request = ignore }
+
+let fire_index hooks r =
+  match hooks with Some h -> h.on_index_request r | None -> ()
+
+let fire_view hooks q =
+  match hooks with Some h -> h.on_view_request q | None -> ()

@@ -1,0 +1,14 @@
+(** Instrumentation hooks (Figure 2): callbacks firing on each index
+    request (at access-path selection) and each view request (at view
+    matching).  Without hooks the optimizer behaves like a production
+    system. *)
+
+type t = {
+  on_index_request : Request.t -> unit;
+  on_view_request : Relax_sql.Query.spjg -> unit;
+}
+
+val none : t
+
+val fire_index : t option -> Request.t -> unit
+val fire_view : t option -> Relax_sql.Query.spjg -> unit

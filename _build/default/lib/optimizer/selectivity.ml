@@ -1,0 +1,66 @@
+(** Selectivity estimation, under the paper's standing independence
+    assumption.
+
+    Sargable range predicates read the column histogram; equi-joins use the
+    classic [1 / max(d1, d2)] containment rule; non-sargable predicates get
+    System-R-style default guesses keyed on their shape. *)
+
+open Relax_sql.Types
+module Predicate = Relax_sql.Predicate
+module Expr = Relax_sql.Expr
+module Histogram = Relax_catalog.Histogram
+
+let clamp s = Float.max 1e-9 (Float.min 1.0 s)
+
+(** Selectivity of a sargable range predicate. *)
+let range env (r : Predicate.range) =
+  match Env.col_stats_opt env r.rcol with
+  | None -> 0.3 (* unknown column: a conservative guess *)
+  | Some stats ->
+    if Predicate.is_equality r then
+      match r.lo with
+      | Some b -> clamp (Histogram.selectivity_eq stats.hist (Value.to_float b.value))
+      | None -> assert false
+    else
+      let lo =
+        match r.lo with Some b -> Value.to_float b.value | None -> neg_infinity
+      in
+      let hi =
+        match r.hi with Some b -> Value.to_float b.value | None -> infinity
+      in
+      clamp (Histogram.selectivity_range stats.hist ~lo ~hi)
+
+(** Selectivity of an equi-join predicate: containment assumption. *)
+let join env (j : Predicate.join) =
+  let d c =
+    match Env.col_stats_opt env c with Some s -> s.distinct | None -> 100.0
+  in
+  clamp (1.0 /. Float.max 1.0 (Float.max (d j.left) (d j.right)))
+
+(** Equality-to-parameter selectivity (index nested-loop inner side). *)
+let param_eq env c =
+  match Env.col_stats_opt env c with
+  | Some s -> clamp (1.0 /. Float.max 1.0 s.distinct)
+  | None -> 0.01
+
+(** Default guesses for non-sargable conjuncts, keyed on shape. *)
+let rec other env (e : Expr.t) =
+  match e with
+  | Cmp (Eq, _, _) -> 0.05
+  | Cmp (Neq, _, _) -> 0.9
+  | Cmp ((Lt | Le | Gt | Ge), _, _) -> 1.0 /. 3.0
+  | Like (_, pattern) ->
+    if String.length pattern > 0 && pattern.[0] <> '%' then 0.05 else 0.15
+  | In_list (_, vs) -> clamp (0.05 *. float_of_int (List.length vs))
+  | And (a, b) -> clamp (other env a *. other env b)
+  | Or (a, b) ->
+    let sa = other env a and sb = other env b in
+    clamp (sa +. sb -. (sa *. sb))
+  | Not a -> clamp (1.0 -. other env a)
+  | Col _ | Const _ | Neg _ | Bin _ -> 0.5
+
+(** Combined selectivity of classified conjuncts over one relation (no
+    joins). *)
+let local env ~(ranges : Predicate.range list) ~(others : Expr.t list) =
+  let s1 = List.fold_left (fun acc r -> acc *. range env r) 1.0 ranges in
+  List.fold_left (fun acc e -> acc *. other env e) s1 others |> clamp

@@ -1,0 +1,22 @@
+(** Selectivity estimation, under the paper's standing independence
+    assumption: histograms for sargable ranges, the containment rule for
+    equi-joins, System-R-style defaults for non-sargable shapes. *)
+
+val clamp : float -> float
+(** Into [1e-9, 1]. *)
+
+val range : Env.t -> Relax_sql.Predicate.range -> float
+val join : Env.t -> Relax_sql.Predicate.join -> float
+
+val param_eq : Env.t -> Relax_sql.Types.column -> float
+(** Equality against a join parameter: [1 / distinct]. *)
+
+val other : Env.t -> Relax_sql.Expr.t -> float
+(** Shape-keyed default guess for a non-sargable conjunct. *)
+
+val local :
+  Env.t ->
+  ranges:Relax_sql.Predicate.range list ->
+  others:Relax_sql.Expr.t list ->
+  float
+(** Combined selectivity of single-relation conjuncts. *)

@@ -1,0 +1,298 @@
+(** View matching: decide whether an SPJG block can be rewritten over a
+    materialized view, and construct the compensating operators.
+
+    Subsumption tests follow the paper: the FROM sets must be equal; the
+    view's "other" conjuncts must be structurally included in the query's
+    (modulo column equivalence); joins and ranges are checked with simple
+    inclusion/implication tests; a grouped view matches only queries that
+    group at least as coarsely.  Compensation can add residual range/other
+    filters, residual join filters, and a re-grouping with re-aggregation. *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+module Predicate = Relax_sql.Predicate
+module Expr = Relax_sql.Expr
+module View = Relax_physical.View
+
+type result = {
+  view : View.t;
+  residual_ranges : Predicate.range list;  (** on view columns, sargable *)
+  residual_others : Expr.t list;  (** on view columns *)
+  regroup : (column list * Query.select_item list) option;
+      (** compensating group-by: keys and output items over view columns *)
+  needed_cols : Column_set.t;  (** view columns the rewrite reads *)
+}
+
+exception No_match
+
+(* Exposure: a query column is available from the view if the view outputs
+   it, or outputs a column equal to it in every view row (equivalence under
+   the view's own join predicates). *)
+let exposure (view : View.t) =
+  let vdef = View.definition view in
+  let vequiv = Query.column_equiv vdef.joins in
+  fun (c : column) : column option ->
+    match View.view_column_of_base view c with
+    | Some vc -> Some vc
+    | None ->
+      List.find_map
+        (fun (it : Query.select_item) ->
+          match it with
+          | Item_col c' when vequiv c c' -> Some (View.column_of_item view it)
+          | Item_col _ | Item_agg _ -> None)
+        vdef.select
+
+let expose_exn expose c =
+  match expose c with Some vc -> vc | None -> raise No_match
+
+(* Map an aggregate request onto the view's outputs: returns the select item
+   (over view columns) that re-computes it in a compensating group-by. *)
+let map_aggregate view expose (f : Query.agg_fn) (arg : column option) :
+    Query.select_item =
+  let find_agg f' c' =
+    let target = View.item_name (Item_agg (f', Some c')) in
+    List.find_map
+      (fun (it : Query.select_item) ->
+        if View.item_name it = target then Some (View.column_of_item view it)
+        else None)
+      (View.definition view).select
+  in
+  let grouped = (View.definition view).group_by <> [] in
+  match (f, arg) with
+  | Count, None ->
+    if not grouped then Query.Item_agg (Count, None)
+    else begin
+      (* count over groups = sum of the stored per-group counts *)
+      let target = View.item_name (Item_agg (Count, None)) in
+      match
+        List.find_map
+          (fun (it : Query.select_item) ->
+            if View.item_name it = target then
+              Some (View.column_of_item view it)
+            else None)
+          (View.definition view).select
+      with
+      | Some vc -> Query.Item_agg (Sum, Some vc)
+      | None -> raise No_match
+    end
+  | Count, Some c ->
+    if not grouped then
+      Query.Item_agg (Count, Some (expose_exn expose c))
+    else begin
+      match find_agg Count c with
+      | Some vc -> Query.Item_agg (Sum, Some vc)
+      | None -> (
+        match expose c with
+        | Some _ -> raise No_match (* per-row multiplicity lost by grouping *)
+        | None -> raise No_match)
+    end
+  | Sum, Some c ->
+    if not grouped then Query.Item_agg (Sum, Some (expose_exn expose c))
+    else begin
+      match find_agg Sum c with
+      | Some vc -> Query.Item_agg (Sum, Some vc)
+      | None -> raise No_match
+    end
+  | Min, Some c ->
+    if not grouped then Query.Item_agg (Min, Some (expose_exn expose c))
+    else begin
+      match find_agg Min c with
+      | Some vc -> Query.Item_agg (Min, Some vc)
+      | None -> (
+        (* a grouping column is constant per group: min = the value *)
+        match expose c with
+        | Some vc
+          when List.exists
+                 (fun g -> View.view_column_of_base view g = Some vc)
+                 (View.definition view).group_by -> Query.Item_agg (Min, Some vc)
+        | _ -> raise No_match)
+    end
+  | Max, Some c ->
+    if not grouped then Query.Item_agg (Max, Some (expose_exn expose c))
+    else begin
+      match find_agg Max c with
+      | Some vc -> Query.Item_agg (Max, Some vc)
+      | None -> raise No_match
+    end
+  | Avg, Some c ->
+    if not grouped then Query.Item_agg (Avg, Some (expose_exn expose c))
+    else raise No_match (* AVG is not re-aggregable without sum+count *)
+  | (Sum | Min | Max | Avg), None -> raise No_match
+
+(** Try to match query block [q] against [view].  [q.select] defines the
+    required outputs; the result, if any, carries the residual predicates
+    and compensating group-by expressed over the view's columns. *)
+let try_match (view : View.t) (q : Query.spjg) : result option =
+  let vdef = View.definition view in
+  if vdef.tables <> q.tables then None
+  else begin
+    try
+      let qequiv = Query.column_equiv q.joins in
+      let vequiv = Query.column_equiv vdef.joins in
+      let expose = exposure view in
+      (* JV ⊆ JQ: every view join must be enforced by the query *)
+      List.iter
+        (fun (j : Predicate.join) ->
+          if not (qequiv j.left j.right) then raise No_match)
+        vdef.joins;
+      (* residual query joins: not already enforced inside the view *)
+      let residual_joins =
+        List.filter
+          (fun (j : Predicate.join) -> not (vequiv j.left j.right))
+          q.joins
+      in
+      let residual_join_exprs =
+        List.map
+          (fun (j : Predicate.join) ->
+            Expr.Cmp
+              (Eq, Col (expose_exn expose j.left), Col (expose_exn expose j.right)))
+          residual_joins
+      in
+      (* Ranges.  Every view range must be implied by a query range on the
+         same column (the view must contain all rows the query needs);
+         query ranges that are strictly tighter, or on columns the view does
+         not restrict, become residual predicates over view columns. *)
+      List.iter
+        (fun (rv : Predicate.range) ->
+          let satisfied =
+            List.exists
+              (fun (rq : Predicate.range) ->
+                Column.equal rq.rcol rv.rcol && Predicate.implies ~by:rq rv)
+              q.ranges
+          in
+          if not satisfied then raise No_match)
+        vdef.ranges;
+      let residual_ranges =
+        List.filter_map
+          (fun (rq : Predicate.range) ->
+            let exact =
+              List.exists
+                (fun (rv : Predicate.range) ->
+                  Column.equal rv.rcol rq.rcol && Predicate.range_equal rv rq)
+                vdef.ranges
+            in
+            if exact then None
+            else
+              let vc = expose_exn expose rq.rcol in
+              Some { rq with rcol = vc })
+          q.ranges
+      in
+      (* Others: OV's conjuncts must appear in OQ (structural equality
+         modulo column equivalence); the rest of OQ is compensated. *)
+      List.iter
+        (fun ov ->
+          if not (List.exists (Expr.equal_modulo qequiv ov) q.others) then
+            raise No_match)
+        vdef.others;
+      let residual_others =
+        List.filter_map
+          (fun oq ->
+            if List.exists (Expr.equal_modulo qequiv oq) vdef.others then None
+            else
+              Some (Expr.map_columns (expose_exn expose) oq))
+          q.others
+        @ residual_join_exprs
+      in
+      (* Grouping and outputs *)
+      let q_grouped = q.group_by <> [] || Query.has_aggregates q in
+      let v_grouped = vdef.group_by <> [] in
+      let has_residual =
+        residual_ranges <> [] || residual_others <> []
+      in
+      let outputs_and_regroup () =
+        if not q_grouped then begin
+          if v_grouped then raise No_match
+            (* a grouped view lost row multiplicity: cannot serve SPJ *)
+          else begin
+            let out_cols =
+              List.filter_map
+                (fun (it : Query.select_item) ->
+                  match it with
+                  | Item_col c -> Some (expose_exn expose c)
+                  | Item_agg _ -> raise No_match)
+                q.select
+            in
+            (Column_set.of_list out_cols, None)
+          end
+        end
+        else begin
+          (* query groups (or computes a scalar aggregate) *)
+          if v_grouped then begin
+            (* GQ must be ⊆ GV: each query grouping column must be a view
+               grouping column (modulo view equivalence) *)
+            List.iter
+              (fun g ->
+                let ok =
+                  List.exists (fun gv -> vequiv g gv) vdef.group_by
+                in
+                if not ok then raise No_match)
+              q.group_by
+          end;
+          let same_grouping =
+            v_grouped
+            && List.length q.group_by = List.length vdef.group_by
+            && List.for_all
+                 (fun gv -> List.exists (fun g -> vequiv g gv) q.group_by)
+                 vdef.group_by
+          in
+          if same_grouping && not has_residual then begin
+            (* exact: view rows are exactly the query's groups *)
+            let out_cols =
+              List.map
+                (fun (it : Query.select_item) ->
+                  match it with
+                  | Query.Item_col c -> expose_exn expose c
+                  | Query.Item_agg (f, arg) -> (
+                    let target =
+                      match arg with
+                      | Some c -> View.item_name (Item_agg (f, Some c))
+                      | None -> View.item_name (Item_agg (f, None))
+                    in
+                    match
+                      List.find_map
+                        (fun it' ->
+                          if View.item_name it' = target then
+                            Some (View.column_of_item view it')
+                          else None)
+                        vdef.select
+                    with
+                    | Some vc -> vc
+                    | None -> raise No_match))
+                q.select
+            in
+            (Column_set.of_list out_cols, None)
+          end
+          else begin
+            (* compensating group-by over the view *)
+            let keys = List.map (expose_exn expose) q.group_by in
+            let items =
+              List.map
+                (fun (it : Query.select_item) ->
+                  match it with
+                  | Query.Item_col c -> Query.Item_col (expose_exn expose c)
+                  | Query.Item_agg (f, arg) -> map_aggregate view expose f arg)
+                q.select
+            in
+            let cols =
+              List.fold_left
+                (fun acc it -> Column_set.union acc (Query.item_columns it))
+                (Column_set.of_list keys) items
+            in
+            (cols, Some (keys, items))
+          end
+        end
+      in
+      let out_cols, regroup = outputs_and_regroup () in
+      let needed_cols =
+        List.fold_left
+          (fun acc (r : Predicate.range) -> Column_set.add r.rcol acc)
+          out_cols residual_ranges
+      in
+      let needed_cols =
+        List.fold_left
+          (fun acc e -> Column_set.union acc (Expr.columns e))
+          needed_cols residual_others
+      in
+      Some { view; residual_ranges; residual_others; regroup; needed_cols }
+    with No_match -> None
+  end

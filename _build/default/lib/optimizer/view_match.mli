@@ -1,0 +1,26 @@
+(** View matching: can an SPJG block be rewritten over a materialized view,
+    and with what compensation?
+
+    Subsumption tests follow the paper: equal FROM sets; the view's "other"
+    conjuncts structurally included in the query's (modulo column
+    equivalence); joins and ranges checked by inclusion/implication; a
+    grouped view only matches queries grouping at least as coarsely.
+    Compensation adds residual filters and, when needed, a re-grouping
+    with re-aggregation. *)
+
+open Relax_sql.Types
+
+type result = {
+  view : Relax_physical.View.t;
+  residual_ranges : Relax_sql.Predicate.range list;
+      (** over view columns, sargable *)
+  residual_others : Relax_sql.Expr.t list;  (** over view columns *)
+  regroup : (column list * Relax_sql.Query.select_item list) option;
+      (** compensating group-by keys and outputs, over view columns *)
+  needed_cols : Column_set.t;  (** view columns the rewrite reads *)
+}
+
+val try_match :
+  Relax_physical.View.t -> Relax_sql.Query.spjg -> result option
+(** [q.select] defines the required outputs; [None] if any subsumption test
+    fails or some output/residual cannot be compensated. *)

@@ -1,0 +1,63 @@
+(** The what-if costing layer.
+
+    Hypothetical configurations are plain values here, so "simulating" a
+    structure is free; what this layer adds is memoization: a query's plan
+    only depends on the sub-configuration relevant to its tables, so two
+    configurations that agree there share one optimization call.  This is
+    the mechanism behind the paper's observation that a relaxed
+    configuration only requires re-optimizing the queries that used the
+    replaced structures. *)
+
+module Query = Relax_sql.Query
+module Config = Relax_physical.Config
+module Catalog = Relax_catalog.Catalog
+
+type t = {
+  catalog : Catalog.t;
+  plans : (string, Plan.t) Hashtbl.t;
+  mutable optimizer_calls : int;  (** optimization calls actually executed *)
+  mutable cache_hits : int;
+}
+
+let create catalog = { catalog; plans = Hashtbl.create 256; optimizer_calls = 0; cache_hits = 0 }
+
+let stats t = (t.optimizer_calls, t.cache_hits)
+
+let key config ~qid ~tables =
+  qid ^ "#" ^ Config.fingerprint_for_tables config tables
+
+(** Optimized plan for a select query under [config] (memoized). *)
+let plan_select t config ~qid (sq : Query.select_query) : Plan.t =
+  let k = key config ~qid ~tables:sq.body.tables in
+  match Hashtbl.find_opt t.plans k with
+  | Some p ->
+    t.cache_hits <- t.cache_hits + 1;
+    p
+  | None ->
+    let p = Optimizer.optimize t.catalog config sq in
+    t.optimizer_calls <- t.optimizer_calls + 1;
+    Hashtbl.replace t.plans k p;
+    p
+
+(** Cost of one workload entry under [config]: plan cost for selects;
+    select-component cost plus shell cost for updates (§3.6). *)
+let entry_cost t config (e : Query.entry) : float =
+  match e.stmt with
+  | Select sq -> (plan_select t config ~qid:e.qid sq).cost
+  | Dml d ->
+    let select_part, _shell = Query.split_update d in
+    let select_cost =
+      match select_part with
+      | None -> 0.0
+      | Some sq -> (plan_select t config ~qid:(e.qid ^ ":select") sq).cost
+    in
+    let env = Env.make t.catalog config in
+    select_cost +. Update_cost.shell_cost env config d
+
+(** Weighted total workload cost under [config]. *)
+let workload_cost t config (w : Query.workload) : float =
+  List.fold_left (fun acc e -> acc +. (e.Query.weight *. entry_cost t config e)) 0.0 w
+
+(** Per-entry costs, weighted. *)
+let per_entry_costs t config (w : Query.workload) : (string * float) list =
+  List.map (fun (e : Query.entry) -> (e.qid, e.weight *. entry_cost t config e)) w

@@ -1,0 +1,31 @@
+(** The what-if costing layer: memoized optimization of workload statements
+    under hypothetical configurations.
+
+    A query's plan only depends on the sub-configuration relevant to its
+    tables ({!Relax_physical.Config.fingerprint_for_tables}), so
+    configurations agreeing there share one optimization call — the
+    mechanism behind the paper's "only re-optimize queries that used a
+    replaced structure". *)
+
+type t
+
+val create : Relax_catalog.Catalog.t -> t
+
+val stats : t -> int * int
+(** (optimizer calls actually executed, cache hits). *)
+
+val plan_select :
+  t -> Relax_physical.Config.t -> qid:string -> Relax_sql.Query.select_query ->
+  Plan.t
+
+val entry_cost : t -> Relax_physical.Config.t -> Relax_sql.Query.entry -> float
+(** Plan cost for selects; select-component cost plus update-shell
+    maintenance for DML (§3.6). *)
+
+val workload_cost :
+  t -> Relax_physical.Config.t -> Relax_sql.Query.workload -> float
+(** Weighted total. *)
+
+val per_entry_costs :
+  t -> Relax_physical.Config.t -> Relax_sql.Query.workload ->
+  (string * float) list

@@ -1,0 +1,1 @@
+lib/physical/config.ml: Fmt Index List Map Relax_catalog Relax_sql Size_model String View

@@ -1,0 +1,1 @@
+lib/physical/config.mli: Format Index Relax_catalog Relax_sql View

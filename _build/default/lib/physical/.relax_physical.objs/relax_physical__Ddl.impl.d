@@ -1,0 +1,1 @@
+lib/physical/ddl.ml: Column_set Config Fmt Index List Relax_sql String View

@@ -1,0 +1,1 @@
+lib/physical/ddl.mli: Config Format Index View

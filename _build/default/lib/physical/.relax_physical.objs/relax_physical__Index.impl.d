@@ -1,0 +1,1 @@
+lib/physical/index.ml: Bool Column Column_set Fmt List Relax_sql Stdlib String

@@ -1,0 +1,1 @@
+lib/physical/index.mli: Column_set Format Relax_sql Stdlib

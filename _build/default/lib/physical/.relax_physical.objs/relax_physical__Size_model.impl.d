@@ -1,0 +1,1 @@
+lib/physical/size_model.ml: Float Fmt Index List Relax_sql

@@ -1,0 +1,1 @@
+lib/physical/size_model.mli: Format Index Relax_sql

@@ -1,0 +1,1 @@
+lib/physical/view.ml: Buffer Column Column_set Digest Fmt Hashtbl List Relax_sql String

@@ -1,0 +1,1 @@
+lib/physical/view.mli: Format Relax_sql

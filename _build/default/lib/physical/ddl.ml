@@ -1,0 +1,67 @@
+(** DDL rendering of physical designs: turn a configuration into the
+    CREATE INDEX / CREATE MATERIALIZED VIEW script a DBA would deploy.
+
+    Syntax follows the common SQL Server/PostgreSQL hybrid: suffix columns
+    render as [INCLUDE (...)]; clustered indexes carry the [CLUSTERED]
+    keyword; view indexes are created against the view name. *)
+
+open Relax_sql.Types
+
+let index_name_counter = ref 0
+
+(* deterministic, human-readable object names *)
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s
+
+let index_ddl_name (i : Index.t) =
+  incr index_name_counter;
+  Fmt.str "%s_%s_%s%d"
+    (if i.clustered then "cix" else "ix")
+    (sanitize (Index.owner i))
+    (sanitize (String.concat "_" (List.map (fun (c : column) -> c.col) i.keys)))
+    !index_name_counter
+
+let pp_index ppf (i : Index.t) =
+  let keys =
+    String.concat ", " (List.map (fun (c : column) -> c.col) i.keys)
+  in
+  let suffix = Column_set.elements i.suffix in
+  Fmt.pf ppf "CREATE %sINDEX %s ON %s (%s)%s;"
+    (if i.clustered then "CLUSTERED " else "")
+    (index_ddl_name i) (Index.owner i) keys
+    (if suffix = [] then ""
+     else
+       Fmt.str " INCLUDE (%s)"
+         (String.concat ", " (List.map (fun (c : column) -> c.col) suffix)))
+
+let pp_view ppf (v : View.t) =
+  Fmt.pf ppf "@[<v>CREATE MATERIALIZED VIEW %s AS@,  @[%a@];@]" (View.name v)
+    Relax_sql.Pretty.pp_spjg (View.definition v)
+
+(** The full deployment script for a configuration: views first (their
+    indexes depend on them), then all indexes. *)
+let pp_config ppf (config : Config.t) =
+  index_name_counter := 0;
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun v -> Fmt.pf ppf "%a@,@," pp_view v) (Config.views config);
+  List.iter (fun i -> Fmt.pf ppf "%a@," pp_index i) (Config.indexes config);
+  Fmt.pf ppf "@]"
+
+let to_string config = Fmt.str "%a" pp_config config
+
+(** The tear-down script (inverse order). *)
+let pp_drop ppf (config : Config.t) =
+  index_name_counter := 0;
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun i -> Fmt.pf ppf "DROP INDEX %s;@," (index_ddl_name i))
+    (Config.indexes config);
+  List.iter
+    (fun v -> Fmt.pf ppf "DROP MATERIALIZED VIEW %s;@," (View.name v))
+    (Config.views config);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,14 @@
+(** DDL rendering of physical designs: the CREATE INDEX /
+    CREATE MATERIALIZED VIEW script a DBA would deploy.  Suffix columns
+    render as [INCLUDE (...)]; clustered indexes carry [CLUSTERED]. *)
+
+val pp_index : Format.formatter -> Index.t -> unit
+val pp_view : Format.formatter -> View.t -> unit
+
+val pp_config : Format.formatter -> Config.t -> unit
+(** The full deployment script: views first, then indexes. *)
+
+val to_string : Config.t -> string
+
+val pp_drop : Format.formatter -> Config.t -> unit
+(** The tear-down script. *)

@@ -1,0 +1,69 @@
+(** Materialized views.
+
+    A view is an SPJG block [V = (S, F, J, R, O, G)] (§3.1.2).  When
+    simulated, a view becomes a derived table whose columns are the mangled
+    output items; secondary indexes are then built over the view exactly as
+    over base tables. *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+
+type t
+
+val make : Query.spjg -> t
+(** Canonicalizes the definition (dedups select items) and derives a stable
+    content-based name. *)
+
+val name : t -> string
+(** The derived-table name, e.g. [v_1a2b3c4d5e]. *)
+
+val definition : t -> Query.spjg
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val fingerprint : Query.spjg -> string
+(** Stable structural digest of a definition (used to dedup view
+    requests). *)
+
+val item_name : Query.select_item -> string
+(** The mangled column name of an output item ([r_a], [sum_r_b], ...). *)
+
+val outputs : t -> (string * Query.select_item) list
+(** Output items in select order, with their mangled column names. *)
+
+val column_of_item : t -> Query.select_item -> column
+(** The view-qualified column for an output item. *)
+
+val view_column_of_base : t -> column -> column option
+(** The view column exposing a base column as a plain (non-aggregated)
+    output, if any. *)
+
+val item_of_view_column : t -> column -> Query.select_item option
+(** Inverse lookup: the select item a view column stands for. *)
+
+val has_aggregates : t -> bool
+
+val base_tables : t -> string list
+(** The F component: an update to any of these tables incurs
+    view-maintenance cost. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 §3.1.2 view merging} *)
+
+(** Result of merging two views: the merged view plus per-input column
+    remappings, used to promote the inputs' indexes onto the merged
+    view. *)
+type merge_result = {
+  merged : t;
+  remap1 : column -> column option;
+  remap2 : column -> column option;
+}
+
+val merge : t -> t -> merge_result option
+(** Merge two views with identical FROM sets: [JM = J1 ∩ J2]; same-column
+    ranges union (ranges that become unbounded or exist on one side only
+    are dropped, with their columns exposed for compensating filters);
+    [OM = O1 ∩ O2] structurally; [GM = G1 ∪ G2] when both group (plus
+    compensation columns), else no grouping and aggregates are replaced by
+    their argument columns.  [None] when the FROM sets differ. *)

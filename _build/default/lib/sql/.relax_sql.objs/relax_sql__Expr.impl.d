@@ -1,0 +1,1 @@
+lib/sql/expr.ml: Column Column_set Fmt List String Types Value

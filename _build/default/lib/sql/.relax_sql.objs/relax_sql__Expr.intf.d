@@ -1,0 +1,1 @@
+lib/sql/expr.mli: Column_set Format Types

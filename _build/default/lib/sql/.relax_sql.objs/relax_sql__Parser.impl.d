@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Column Expr Fmt Lexer List Option Predicate Printf Query Types

@@ -1,0 +1,1 @@
+lib/sql/predicate.ml: Column Column_set Expr Fmt List Types Value

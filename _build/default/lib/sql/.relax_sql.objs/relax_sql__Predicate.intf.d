@@ -1,0 +1,1 @@
+lib/sql/predicate.mli: Column_set Expr Format Types

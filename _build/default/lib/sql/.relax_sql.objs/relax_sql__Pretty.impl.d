@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Column Expr Fmt List Predicate Query Types

@@ -1,0 +1,1 @@
+lib/sql/query.ml: Column Column_set Expr Fmt Hashtbl List Predicate String Types

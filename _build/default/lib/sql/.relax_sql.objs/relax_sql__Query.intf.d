@@ -1,0 +1,1 @@
+lib/sql/query.mli: Column_set Expr Format Predicate Types

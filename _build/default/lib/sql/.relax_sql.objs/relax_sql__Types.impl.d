@@ -1,0 +1,1 @@
+lib/sql/types.ml: Char Float Fmt Hashtbl Int Map Set String

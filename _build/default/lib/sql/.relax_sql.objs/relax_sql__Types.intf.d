@@ -1,0 +1,1 @@
+lib/sql/types.mli: Format Map Set

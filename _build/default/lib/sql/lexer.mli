@@ -1,0 +1,33 @@
+(** Hand-written lexer for the SQL subset.  [--] comments run to end of
+    line; string literals use single quotes with [''] escaping. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** uppercased keyword *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | SEMI
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | EOF
+
+exception Lex_error of string * int  (** message, byte position *)
+
+val tokenize : string -> token list
+(** Tokenize a whole input; the result ends with {!EOF}.
+    @raise Lex_error on invalid input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,415 @@
+(** Recursive-descent parser for the SPJG dialect.
+
+    Grammar (statements end at [;] or end of input):
+    {v
+    stmt      ::= select | update | insert | delete
+    select    ::= SELECT items FROM tables [WHERE expr]
+                  [GROUP BY cols] [ORDER BY ordcols]
+    update    ::= UPDATE ident SET assigns [WHERE expr]
+    insert    ::= INSERT INTO ident ROWS int
+    delete    ::= DELETE FROM ident [WHERE expr]
+    items     ::= item {, item}        item ::= colref | AGG ( colref | * )
+    expr      ::= or-expr with the usual precedence
+                  (OR < AND < NOT < cmp < add < mul < unary)
+    colref    ::= ident . ident | ident
+    v}
+    Unqualified column names are resolved when exactly one table is in
+    scope; otherwise a parse error is raised. *)
+
+open Types
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %a, found %a" Lexer.pp_token tok Lexer.pp_token (peek st)
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw -> advance st
+  | t -> fail "expected %s, found %a" kw Lexer.pp_token t
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> fail "expected identifier, found %a" Lexer.pp_token t
+
+(* Column references; [tables] is the FROM list used to resolve unqualified
+   names. *)
+let colref st ~tables =
+  let first = ident st in
+  if peek st = Lexer.DOT then (
+    advance st;
+    let second = ident st in
+    Column.make first second)
+  else
+    match tables with
+    | [ t ] -> Column.make t first
+    | _ -> fail "unqualified column %s with %d tables in scope" first
+             (List.length tables)
+
+let value st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    VInt i
+  | Lexer.FLOAT f ->
+    advance st;
+    VFloat f
+  | Lexer.STRING s ->
+    advance st;
+    VString s
+  | Lexer.MINUS -> (
+    advance st;
+    match peek st with
+    | Lexer.INT i ->
+      advance st;
+      VInt (-i)
+    | Lexer.FLOAT f ->
+      advance st;
+      VFloat (-.f)
+    | t -> fail "expected number after '-', found %a" Lexer.pp_token t)
+  | Lexer.KW "DATE" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let v =
+      match peek st with
+      | Lexer.INT i ->
+        advance st;
+        VDate i
+      | t -> fail "expected day number in DATE(), found %a" Lexer.pp_token t
+    in
+    expect st Lexer.RPAREN;
+    v
+  | t -> fail "expected literal, found %a" Lexer.pp_token t
+
+let agg_of_kw = function
+  | "COUNT" -> Some Query.Count
+  | "SUM" -> Some Query.Sum
+  | "MIN" -> Some Query.Min
+  | "MAX" -> Some Query.Max
+  | "AVG" -> Some Query.Avg
+  | _ -> None
+
+(* --- expressions --------------------------------------------------------- *)
+
+let rec parse_or st ~tables =
+  let left = parse_and st ~tables in
+  if accept_kw st "OR" then Expr.Or (left, parse_or st ~tables) else left
+
+and parse_and st ~tables =
+  let left = parse_not st ~tables in
+  if accept_kw st "AND" then Expr.And (left, parse_and st ~tables) else left
+
+and parse_not st ~tables =
+  if accept_kw st "NOT" then Expr.Not (parse_not st ~tables)
+  else parse_cmp st ~tables
+
+and parse_cmp st ~tables =
+  let left = parse_add st ~tables in
+  match peek st with
+  | Lexer.EQ ->
+    advance st;
+    Expr.Cmp (Eq, left, parse_add st ~tables)
+  | Lexer.NEQ ->
+    advance st;
+    Expr.Cmp (Neq, left, parse_add st ~tables)
+  | Lexer.LT ->
+    advance st;
+    Expr.Cmp (Lt, left, parse_add st ~tables)
+  | Lexer.LE ->
+    advance st;
+    Expr.Cmp (Le, left, parse_add st ~tables)
+  | Lexer.GT ->
+    advance st;
+    Expr.Cmp (Gt, left, parse_add st ~tables)
+  | Lexer.GE ->
+    advance st;
+    Expr.Cmp (Ge, left, parse_add st ~tables)
+  | Lexer.KW "LIKE" -> (
+    advance st;
+    match peek st with
+    | Lexer.STRING p ->
+      advance st;
+      Expr.Like (left, p)
+    | t -> fail "expected pattern after LIKE, found %a" Lexer.pp_token t)
+  | Lexer.KW "BETWEEN" ->
+    advance st;
+    let lo = value st in
+    expect_kw st "AND";
+    let hi = value st in
+    Expr.And
+      (Expr.Cmp (Ge, left, Const lo), Expr.Cmp (Le, left, Const hi))
+  | Lexer.KW "IN" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let rec vals acc =
+      let v = value st in
+      if peek st = Lexer.COMMA then (
+        advance st;
+        vals (v :: acc))
+      else List.rev (v :: acc)
+    in
+    let vs = vals [] in
+    expect st Lexer.RPAREN;
+    Expr.In_list (left, vs)
+  | _ -> left
+
+and parse_add st ~tables =
+  let rec go left =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      go (Expr.Bin (Add, left, parse_mul st ~tables))
+    | Lexer.MINUS ->
+      advance st;
+      go (Expr.Bin (Sub, left, parse_mul st ~tables))
+    | _ -> left
+  in
+  go (parse_mul st ~tables)
+
+and parse_mul st ~tables =
+  let rec go left =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      go (Expr.Bin (Mul, left, parse_unary st ~tables))
+    | Lexer.SLASH ->
+      advance st;
+      go (Expr.Bin (Div, left, parse_unary st ~tables))
+    | _ -> left
+  in
+  go (parse_unary st ~tables)
+
+and parse_unary st ~tables =
+  match peek st with
+  | Lexer.MINUS -> (
+    (* distinguish a negative literal from negation of a subexpression *)
+    advance st;
+    match peek st with
+    | Lexer.INT i ->
+      advance st;
+      Expr.Const (VInt (-i))
+    | Lexer.FLOAT f ->
+      advance st;
+      Expr.Const (VFloat (-.f))
+    | _ -> Expr.Neg (parse_unary st ~tables))
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_or st ~tables in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.KW "DATE" ->
+    Expr.Const (value st)
+  | Lexer.IDENT _ -> Expr.Col (colref st ~tables)
+  | t -> fail "unexpected token in expression: %a" Lexer.pp_token t
+
+(* --- statements ---------------------------------------------------------- *)
+
+let parse_where st ~tables =
+  if accept_kw st "WHERE" then
+    Predicate.classify [ parse_or st ~tables ]
+  else Predicate.empty_classified
+
+let parse_table_list st =
+  let rec go acc =
+    let t = ident st in
+    if peek st = Lexer.COMMA then (
+      advance st;
+      go (t :: acc))
+    else List.rev (t :: acc)
+  in
+  go []
+
+let parse_select st =
+  expect_kw st "SELECT";
+  (* The select list needs the FROM tables to resolve unqualified columns,
+     so we first scan items as raw token runs... simpler: parse items into a
+     closure applied after FROM is known. *)
+  let rec item_thunks acc =
+    let thunk =
+      match peek st with
+      | Lexer.KW k when agg_of_kw k <> None ->
+        let f = Option.get (agg_of_kw k) in
+        advance st;
+        expect st Lexer.LPAREN;
+        if peek st = Lexer.STAR then (
+          advance st;
+          expect st Lexer.RPAREN;
+          fun ~tables:_ -> Query.Item_agg (f, None))
+        else begin
+          let first = ident st in
+          let qualified =
+            if peek st = Lexer.DOT then (
+              advance st;
+              let second = ident st in
+              Some (Column.make first second))
+            else None
+          in
+          expect st Lexer.RPAREN;
+          fun ~tables ->
+            match qualified with
+            | Some c -> Query.Item_agg (f, Some c)
+            | None -> (
+              match tables with
+              | [ t ] -> Query.Item_agg (f, Some (Column.make t first))
+              | _ -> fail "unqualified column %s in aggregate" first)
+        end
+      | Lexer.IDENT _ ->
+        let first = ident st in
+        let qualified =
+          if peek st = Lexer.DOT then (
+            advance st;
+            let second = ident st in
+            Some (Column.make first second))
+          else None
+        in
+        fun ~tables ->
+          (match qualified with
+          | Some c -> Query.Item_col c
+          | None -> (
+            match tables with
+            | [ t ] -> Query.Item_col (Column.make t first)
+            | _ -> fail "unqualified column %s in select list" first))
+      | t -> fail "unexpected token in select list: %a" Lexer.pp_token t
+    in
+    if peek st = Lexer.COMMA then (
+      advance st;
+      item_thunks (thunk :: acc))
+    else List.rev (thunk :: acc)
+  in
+  let thunks = item_thunks [] in
+  expect_kw st "FROM";
+  let tables = parse_table_list st in
+  let select = List.map (fun f -> f ~tables) thunks in
+  let where = parse_where st ~tables in
+  let group_by =
+    if accept_kw st "GROUP" then (
+      expect_kw st "BY";
+      let rec go acc =
+        let c = colref st ~tables in
+        if peek st = Lexer.COMMA then (
+          advance st;
+          go (c :: acc))
+        else List.rev (c :: acc)
+      in
+      go [])
+    else []
+  in
+  let order_by =
+    if accept_kw st "ORDER" then (
+      expect_kw st "BY";
+      let rec go acc =
+        let c = colref st ~tables in
+        let dir =
+          if accept_kw st "DESC" then Desc
+          else (
+            ignore (accept_kw st "ASC");
+            Asc)
+        in
+        if peek st = Lexer.COMMA then (
+          advance st;
+          go ((c, dir) :: acc))
+        else List.rev ((c, dir) :: acc)
+      in
+      go [])
+    else []
+  in
+  let body =
+    Query.make_spjg ~select ~tables ~joins:where.joins ~ranges:where.ranges
+      ~others:where.others ~group_by ()
+  in
+  Query.Select { body; order_by }
+
+let parse_update st =
+  expect_kw st "UPDATE";
+  let table = ident st in
+  expect_kw st "SET";
+  let tables = [ table ] in
+  let rec assigns acc =
+    let c = ident st in
+    expect st Lexer.EQ;
+    let e = parse_add st ~tables in
+    if peek st = Lexer.COMMA then (
+      advance st;
+      assigns ((c, e) :: acc))
+    else List.rev ((c, e) :: acc)
+  in
+  let assignments = assigns [] in
+  let where = parse_where st ~tables in
+  if where.joins <> [] then fail "UPDATE may not contain join predicates";
+  Query.Dml
+    (Query.Update { table; assignments; ranges = where.ranges; others = where.others })
+
+let parse_insert st =
+  expect_kw st "INSERT";
+  expect_kw st "INTO";
+  let table = ident st in
+  expect_kw st "ROWS";
+  match peek st with
+  | Lexer.INT rows ->
+    advance st;
+    Query.Dml (Query.Insert { table; rows })
+  | t -> fail "expected row count, found %a" Lexer.pp_token t
+
+let parse_delete st =
+  expect_kw st "DELETE";
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = parse_where st ~tables:[ table ] in
+  if where.joins <> [] then fail "DELETE may not contain join predicates";
+  Query.Dml (Query.Delete { table; ranges = where.ranges; others = where.others })
+
+let parse_statement_tokens st =
+  let stmt =
+    match peek st with
+    | Lexer.KW "SELECT" -> parse_select st
+    | Lexer.KW "UPDATE" -> parse_update st
+    | Lexer.KW "INSERT" -> parse_insert st
+    | Lexer.KW "DELETE" -> parse_delete st
+    | t -> fail "expected a statement, found %a" Lexer.pp_token t
+  in
+  (match peek st with
+  | Lexer.SEMI -> advance st
+  | Lexer.EOF -> ()
+  | t -> fail "trailing tokens after statement: %a" Lexer.pp_token t);
+  stmt
+
+(** Parse a single statement. *)
+let statement src : Query.statement =
+  let st = { toks = Lexer.tokenize src } in
+  let s = parse_statement_tokens st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> fail "trailing input: %a" Lexer.pp_token t);
+  s
+
+(** Parse a [;]-separated script into a weighted workload; statements get
+    identifiers [q1], [q2], ... *)
+let workload src : Query.workload =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go i acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | _ ->
+      let s = parse_statement_tokens st in
+      go (i + 1) (Query.entry (Printf.sprintf "q%d" i) s :: acc)
+  in
+  go 1 []

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the SPJG dialect.
+
+    Supported statements: [SELECT ... FROM ... [WHERE ...] [GROUP BY ...]
+    [ORDER BY ...]], [UPDATE t SET c = e, ... [WHERE ...]],
+    [INSERT INTO t ROWS n], [DELETE FROM t [WHERE ...]].  Expressions have
+    the usual precedence; [BETWEEN], [IN (...)] and [LIKE] are sugar.
+    Unqualified column names resolve when exactly one table is in scope. *)
+
+exception Parse_error of string
+
+val statement : string -> Query.statement
+(** Parse a single statement.
+    @raise Parse_error on malformed input.
+    @raise Lexer.Lex_error on invalid tokens. *)
+
+val workload : string -> Query.workload
+(** Parse a [;]-separated script; statements are numbered [q1], [q2], ...
+    with weight 1. *)

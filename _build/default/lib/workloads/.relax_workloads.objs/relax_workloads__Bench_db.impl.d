@@ -1,0 +1,1 @@
+lib/workloads/bench_db.ml: Column Generator Relax_catalog Relax_sql Tpch

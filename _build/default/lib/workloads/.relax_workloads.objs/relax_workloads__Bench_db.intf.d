@@ -1,0 +1,1 @@
+lib/workloads/bench_db.mli: Generator Relax_catalog Relax_sql

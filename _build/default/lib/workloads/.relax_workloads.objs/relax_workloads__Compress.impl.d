@@ -1,0 +1,1 @@
+lib/workloads/compress.ml: Column Fmt Hashtbl List Printf Relax_sql String

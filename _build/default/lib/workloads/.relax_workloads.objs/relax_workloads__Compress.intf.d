@@ -1,0 +1,1 @@
+lib/workloads/compress.mli: Relax_sql

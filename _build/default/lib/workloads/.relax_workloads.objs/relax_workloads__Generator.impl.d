@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Column Float List Printf Relax_catalog Relax_sql Value

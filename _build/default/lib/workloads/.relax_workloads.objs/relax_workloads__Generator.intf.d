@@ -1,0 +1,1 @@
+lib/workloads/generator.mli: Relax_catalog Relax_sql

@@ -1,0 +1,1 @@
+lib/workloads/star.ml: Column Generator Relax_catalog Relax_sql

@@ -1,0 +1,1 @@
+lib/workloads/star.mli: Generator Relax_catalog Relax_sql

@@ -1,0 +1,1 @@
+lib/workloads/tpch.ml: Column List Printf Relax_catalog Relax_sql

@@ -1,0 +1,54 @@
+(** "Bench": a synthetic mixed OLTP-style database in the spirit of the
+    classic Wisconsin/AS3AP benchmark tables, standing in for the paper's
+    synthetic "Bench" database (Table 2).
+
+    Several medium-sized tables with columns of controlled distinct counts
+    (unique1/unique2, onePercent, tenPercent, ...), which makes predicate
+    selectivities easy to reason about in tests.  Workloads over it mix
+    single-table scans/aggregations with a few two-table joins and a
+    configurable update share. *)
+
+module Catalog = Relax_catalog.Catalog
+module D = Relax_catalog.Distribution
+open Relax_sql.Types
+
+let scale_rows scale n = max 10 (int_of_float (float_of_int n *. scale))
+
+let bench_table name rows =
+  Catalog.table name ~rows
+    [
+      Catalog.column "unique1" Int ~dist:D.Serial;
+      Catalog.column "unique2" Int
+        ~dist:(D.Uniform (0.0, float_of_int (rows - 1)));
+      Catalog.column "onepercent" Int ~dist:(D.Uniform (0.0, 99.0));
+      Catalog.column "tenpercent" Int ~dist:(D.Uniform (0.0, 9.0));
+      Catalog.column "fiftypercent" Int ~dist:(D.Uniform (0.0, 1.0));
+      Catalog.column "oddonepercent" Int ~dist:(D.Zipf { n = 100; skew = 0.7 });
+      Catalog.column "stringu1" (Varchar 52);
+      Catalog.column "value" Float ~dist:(D.Normal { mean = 500.0; stddev = 200.0 });
+    ]
+
+let catalog ?(scale = 0.05) ?(seed = 202) () : Catalog.t =
+  let r = scale_rows scale in
+  Catalog.create ~seed
+    [
+      bench_table "tenk1" (r 2_000_000);
+      bench_table "tenk2" (r 2_000_000);
+      bench_table "onek" (r 200_000);
+      bench_table "hundred" (r 20_000);
+    ]
+
+let join_graph : (column * column) list =
+  let c = Column.make in
+  [
+    (c "tenk1" "unique1", c "tenk2" "unique2");
+    (c "tenk1" "onepercent", c "onek" "onepercent");
+    (c "onek" "tenpercent", c "hundred" "tenpercent");
+  ]
+
+let schema ?scale ?seed () : Generator.schema =
+  { catalog = catalog ?scale ?seed (); joins = join_graph }
+
+(** The TPC-H analogue as a generator schema. *)
+let tpch_schema ?scale ?seed () : Generator.schema =
+  { catalog = Tpch.catalog ?scale ?seed (); joins = Tpch.join_graph }

@@ -1,0 +1,14 @@
+(** "Bench": a synthetic mixed OLTP-style database in the spirit of the
+    Wisconsin/AS3AP benchmarks — columns with controlled distinct counts
+    (unique1, onepercent, tenpercent, ...) make selectivities easy to
+    reason about.  Stands in for the paper's synthetic Bench database. *)
+
+val catalog : ?scale:float -> ?seed:int -> unit -> Relax_catalog.Catalog.t
+
+val join_graph :
+  (Relax_sql.Types.column * Relax_sql.Types.column) list
+
+val schema : ?scale:float -> ?seed:int -> unit -> Generator.schema
+
+val tpch_schema : ?scale:float -> ?seed:int -> unit -> Generator.schema
+(** The TPC-H analogue packaged as a generator schema. *)

@@ -1,0 +1,92 @@
+(** Workload compression: collapse statements that are identical up to
+    constants into one weighted representative.
+
+    Large production workloads repeat a small number of query templates
+    with different parameter values; tuning time is roughly linear in
+    workload size, so advisors in the AutoAdmin lineage compress first.
+    Two statements share a {e signature} when they agree on everything but
+    the constants in their sargable predicates: same tables, joins,
+    predicate columns and shapes, select list, grouping and ordering. *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+module Predicate = Relax_sql.Predicate
+module Expr = Relax_sql.Expr
+
+(* expression fingerprint with constants blanked *)
+let rec expr_shape (e : Expr.t) : string =
+  match e with
+  | Col c -> "c:" ^ Column.to_string c
+  | Const _ -> "k"
+  | Neg e -> "n(" ^ expr_shape e ^ ")"
+  | Not e -> "!(" ^ expr_shape e ^ ")"
+  | Like (e, _) -> "l(" ^ expr_shape e ^ ")"
+  | In_list (e, vs) ->
+    Printf.sprintf "i(%s,%d)" (expr_shape e) (List.length vs)
+  | Bin (o, a, b) ->
+    Fmt.str "b(%a,%s,%s)" pp_arith_op o (expr_shape a) (expr_shape b)
+  | Cmp (o, a, b) ->
+    Fmt.str "p(%a,%s,%s)" pp_cmp_op o (expr_shape a) (expr_shape b)
+  | And (a, b) -> "a(" ^ expr_shape a ^ "," ^ expr_shape b ^ ")"
+  | Or (a, b) -> "o(" ^ expr_shape a ^ "," ^ expr_shape b ^ ")"
+
+let range_shape (r : Predicate.range) =
+  Printf.sprintf "%s%s%s%s" (Column.to_string r.rcol)
+    (if r.lo <> None then "[" else "(")
+    (if r.hi <> None then "]" else ")")
+    (if Predicate.is_equality r then "=" else "")
+
+let spjg_shape (q : Query.spjg) =
+  String.concat "|"
+    [
+      String.concat "," q.tables;
+      String.concat ","
+        (List.map
+           (fun (j : Predicate.join) ->
+             Column.to_string j.left ^ "=" ^ Column.to_string j.right)
+           q.joins);
+      String.concat ","
+        (List.sort String.compare (List.map range_shape q.ranges));
+      String.concat "," (List.map expr_shape q.others);
+      String.concat ","
+        (List.map (fun it -> Fmt.str "%a" Query.pp_select_item it) q.select);
+      String.concat "," (List.map Column.to_string q.group_by);
+    ]
+
+(** The template signature of a statement (constants blanked). *)
+let signature (s : Query.statement) : string =
+  match s with
+  | Select q ->
+    "S:" ^ spjg_shape q.body ^ "|"
+    ^ String.concat ","
+        (List.map (fun (c, _) -> Column.to_string c) q.order_by)
+  | Dml (Update u) ->
+    "U:" ^ u.table ^ "|"
+    ^ String.concat "," (List.map fst u.assignments)
+    ^ "|"
+    ^ String.concat "," (List.sort String.compare (List.map range_shape u.ranges))
+  | Dml (Insert i) -> "I:" ^ i.table
+  | Dml (Delete d) ->
+    "D:" ^ d.table ^ "|"
+    ^ String.concat "," (List.sort String.compare (List.map range_shape d.ranges))
+
+(** Compress a workload: one representative per signature (the first
+    occurrence keeps its constants), with the cluster's weights summed. *)
+let compress (w : Query.workload) : Query.workload =
+  let order = ref [] in
+  let clusters : (string, Query.entry ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Query.entry) ->
+      let s = signature e.stmt in
+      match Hashtbl.find_opt clusters s with
+      | Some rep -> rep := { !rep with weight = !rep.weight +. e.weight }
+      | None ->
+        let rep = ref e in
+        Hashtbl.replace clusters s rep;
+        order := rep :: !order)
+    w;
+  List.rev_map (fun r -> !r) !order
+
+(** (statements before, statements after). *)
+let compression_ratio (w : Query.workload) : int * int =
+  (List.length w, List.length (compress w))

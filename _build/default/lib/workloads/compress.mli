@@ -1,0 +1,13 @@
+(** Workload compression: collapse statements identical up to constants
+    into one weighted representative (the scalability trick of the
+    AutoAdmin lineage — tuning time is roughly linear in workload size). *)
+
+val signature : Relax_sql.Query.statement -> string
+(** The template signature: everything but the constants. *)
+
+val compress : Relax_sql.Query.workload -> Relax_sql.Query.workload
+(** One representative per signature (first occurrence keeps its
+    constants), weights summed.  Order of first occurrences preserved. *)
+
+val compression_ratio : Relax_sql.Query.workload -> int * int
+(** (statements before, after). *)

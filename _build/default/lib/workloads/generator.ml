@@ -1,0 +1,278 @@
+(** Random workload generation over any schema with a foreign-key join
+    graph.
+
+    The generator produces single-block SPJG queries: a random connected
+    walk over the join graph picks the FROM set; range and equality
+    predicates draw constants from the columns' own distributions (via
+    quantiles, so selectivities are controlled); group-bys prefer
+    low-cardinality columns; a configurable fraction of statements are
+    UPDATE / DELETE / INSERT.  All randomness flows through an explicit
+    {!Relax_catalog.Rng.t}, so workloads are reproducible. *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+module Predicate = Relax_sql.Predicate
+module Expr = Relax_sql.Expr
+module Catalog = Relax_catalog.Catalog
+module Rng = Relax_catalog.Rng
+module D = Relax_catalog.Distribution
+
+type profile = {
+  min_tables : int;
+  max_tables : int;
+  ranges_per_query : int;  (** expected number of range predicates *)
+  eq_fraction : float;  (** fraction of ranges that are equalities *)
+  group_by_prob : float;
+  order_by_prob : float;
+  other_pred_prob : float;  (** chance of one non-sargable conjunct *)
+  update_fraction : float;  (** fraction of DML statements *)
+  avg_selectivity : float;  (** target width of range predicates *)
+}
+
+let default_profile =
+  {
+    min_tables = 1;
+    max_tables = 4;
+    ranges_per_query = 2;
+    eq_fraction = 0.4;
+    group_by_prob = 0.4;
+    order_by_prob = 0.3;
+    other_pred_prob = 0.2;
+    update_fraction = 0.0;
+    avg_selectivity = 0.1;
+  }
+
+(** A schema description for the generator. *)
+type schema = {
+  catalog : Catalog.t;
+  joins : (column * column) list;  (** the FK join graph *)
+}
+
+(* pick a value for column [c] at quantile [q] *)
+let value_at schema (c : column) q : value =
+  let td = Catalog.table_exn schema.catalog c.tbl in
+  let cd = List.find (fun (d : Catalog.column_def) -> d.cname = c.col) td.cols in
+  let v = D.quantile cd.dist ~rows:td.rows q in
+  match cd.ctype with
+  | Int | Char _ | Varchar _ -> VInt (int_of_float v)
+  | Date -> VDate (int_of_float v)
+  | Float -> VFloat v
+
+let columns_of_table schema t =
+  Catalog.columns_of schema.catalog t
+
+(* low-distinct columns are natural group-by keys *)
+let groupable_columns schema t =
+  List.filter
+    (fun c ->
+      let s = Catalog.col_stats schema.catalog c in
+      s.distinct <= 1000.0)
+    (columns_of_table schema t)
+
+(* numeric columns can be aggregated *)
+let aggregable_columns schema t =
+  List.filter
+    (fun c ->
+      match (Catalog.col_stats schema.catalog c).stype with
+      | Int | Float -> true
+      | Date | Char _ | Varchar _ -> false)
+    (columns_of_table schema t)
+
+(* random connected table set via a walk on the join graph *)
+let pick_tables schema rng ~n =
+  let all = Catalog.table_names schema.catalog in
+  let start = Rng.choose rng all in
+  let rec grow tables joins =
+    if List.length tables >= n then (tables, joins)
+    else begin
+      let frontier =
+        List.filter
+          (fun (a, b) ->
+            (List.mem a.tbl tables && not (List.mem b.tbl tables))
+            || (List.mem b.tbl tables && not (List.mem a.tbl tables)))
+          schema.joins
+      in
+      match frontier with
+      | [] -> (tables, joins)
+      | _ ->
+        let (a, b) = Rng.choose rng frontier in
+        let newt = if List.mem a.tbl tables then b.tbl else a.tbl in
+        grow (newt :: tables) (Predicate.make_join a b :: joins)
+    end
+  in
+  grow [ start ] []
+
+let range_for schema rng (c : column) ~eq ~avg_sel : Predicate.range =
+  if eq then Predicate.range_eq c (value_at schema c (Rng.float rng))
+  else begin
+    let width = Float.min 0.9 (avg_sel *. (0.5 +. Rng.float rng)) in
+    let lo = Rng.float rng *. (1.0 -. width) in
+    let hi = lo +. width in
+    let vlo = value_at schema c lo in
+    let vhi = value_at schema c hi in
+    (* integer-valued columns can round both endpoints to the same value,
+       which would silently turn the range into an equality (a different
+       template); keep non-equality ranges strict *)
+    let vhi =
+      if Value.equal vlo vhi then
+        match vhi with
+        | VInt i -> VInt (i + 1)
+        | VDate d -> VDate (d + 1)
+        | VFloat f -> VFloat (f +. 1.0)
+        | VString s -> VString (s ^ "z")
+      else vhi
+    in
+    Predicate.range ~lo:(Predicate.bound vlo) ~hi:(Predicate.bound vhi) c
+  end
+
+(** One random select query. *)
+let random_select schema rng (p : profile) : Query.select_query =
+  let n = Rng.int_range rng p.min_tables p.max_tables in
+  let tables, joins = pick_tables schema rng ~n in
+  let all_cols = List.concat_map (columns_of_table schema) tables in
+  (* ranges *)
+  let n_ranges =
+    let base = p.ranges_per_query in
+    max 1 (Rng.int_range rng (max 0 (base - 1)) (base + 1))
+  in
+  let range_cols = Rng.sample rng n_ranges all_cols in
+  let ranges =
+    List.map
+      (fun c ->
+        range_for schema rng c
+          ~eq:(Rng.bernoulli rng p.eq_fraction)
+          ~avg_sel:p.avg_selectivity)
+      range_cols
+  in
+  (* an optional non-sargable conjunct over two numeric columns *)
+  let others =
+    if Rng.bernoulli rng p.other_pred_prob then begin
+      let nums = List.concat_map (aggregable_columns schema) tables in
+      match Rng.sample rng 2 nums with
+      | [ a; b ] when a.tbl = b.tbl ->
+        [ Expr.Cmp (Lt, Col a, Bin (Add, Col b, Const (VInt 1))) ]
+      | _ -> []
+    end
+    else []
+  in
+  (* grouping and outputs *)
+  let grouped = Rng.bernoulli rng p.group_by_prob in
+  if grouped then begin
+    let gcands = List.concat_map (groupable_columns schema) tables in
+    let keys =
+      match Rng.sample rng (Rng.int_range rng 1 2) gcands with
+      | [] -> []
+      | ks -> ks
+    in
+    if keys = [] then
+      (* no groupable column: fall back to a plain select *)
+      let sel_cols = Rng.sample rng (Rng.int_range rng 1 4) all_cols in
+      let body =
+        Query.make_spjg
+          ~select:(List.map (fun c -> Query.Item_col c) sel_cols)
+          ~tables ~joins ~ranges ~others ()
+      in
+      { Query.body; order_by = [] }
+    else begin
+      let aggs =
+        match Rng.sample rng (Rng.int_range rng 1 2) (List.concat_map (aggregable_columns schema) tables) with
+        | [] -> [ Query.Item_agg (Count, None) ]
+        | cs ->
+          Query.Item_agg (Count, None)
+          :: List.map (fun c -> Query.Item_agg ((if Rng.bernoulli rng 0.5 then Query.Sum else Query.Max), Some c)) cs
+      in
+      let select = List.map (fun c -> Query.Item_col c) keys @ aggs in
+      let body =
+        Query.make_spjg ~select ~tables ~joins ~ranges ~others ~group_by:keys ()
+      in
+      let order_by =
+        if Rng.bernoulli rng p.order_by_prob then
+          [ (List.hd keys, Asc) ]
+        else []
+      in
+      { Query.body; order_by }
+    end
+  end
+  else begin
+    let sel_cols =
+      match Rng.sample rng (Rng.int_range rng 1 4) all_cols with
+      | [] -> [ List.hd all_cols ]
+      | cs -> cs
+    in
+    let select = List.map (fun c -> Query.Item_col c) sel_cols in
+    let body = Query.make_spjg ~select ~tables ~joins ~ranges ~others () in
+    let order_by =
+      if Rng.bernoulli rng p.order_by_prob then
+        [ (Rng.choose rng sel_cols, Asc) ]
+      else []
+    in
+    { Query.body; order_by }
+  end
+
+(** One random update statement over a single table. *)
+let random_dml schema rng (p : profile) : Query.dml =
+  let all = Catalog.table_names schema.catalog in
+  let table = Rng.choose rng all in
+  let cols = columns_of_table schema table in
+  let where_col = Rng.choose rng cols in
+  let ranges =
+    [ range_for schema rng where_col ~eq:false ~avg_sel:(p.avg_selectivity /. 2.0) ]
+  in
+  match Rng.int rng 4 with
+  | 0 -> Query.Delete { table; ranges; others = [] }
+  | 1 ->
+    let rows = Rng.int_range rng 10 1000 in
+    Query.Insert { table; rows }
+  | _ ->
+    let target =
+      match
+        List.filter
+          (fun (c : column) -> not (Column.equal c where_col))
+          (aggregable_columns schema table)
+      with
+      | [] -> Rng.choose rng cols
+      | cs -> Rng.choose rng cs
+    in
+    Query.Update
+      {
+        table;
+        assignments = [ (target.col, Expr.Bin (Add, Col target, Const (VInt 1))) ];
+        ranges;
+        others = [];
+      }
+
+(** Re-draw the constants of a statement's range predicates: the same
+    template with new parameters.  Repeating this builds the
+    template-heavy workloads that {!Compress} collapses. *)
+let reparameterize ?(avg_sel = 0.1) (schema : schema) rng
+    (w : Query.workload) : Query.workload =
+  let fresh_range (r : Predicate.range) =
+    range_for schema rng r.rcol ~eq:(Predicate.is_equality r) ~avg_sel
+  in
+  let fresh_stmt (s : Query.statement) : Query.statement =
+    match s with
+    | Select q ->
+      let body =
+        Query.make_spjg ~select:q.body.select ~tables:q.body.tables
+          ~joins:q.body.joins
+          ~ranges:(List.map fresh_range q.body.ranges)
+          ~others:q.body.others ~group_by:q.body.group_by ()
+      in
+      Select { q with body }
+    | Dml (Update u) ->
+      Dml (Update { u with ranges = List.map fresh_range u.ranges })
+    | Dml (Delete d) ->
+      Dml (Delete { d with ranges = List.map fresh_range d.ranges })
+    | Dml (Insert _) as s -> s
+  in
+  List.map (fun (e : Query.entry) -> { e with stmt = fresh_stmt e.stmt }) w
+
+(** A reproducible random workload of [n] statements. *)
+let workload ?(seed = 1) ?(profile = default_profile) (schema : schema) ~n :
+    Query.workload =
+  let rng = Rng.create seed in
+  List.init n (fun i ->
+      let qid = Printf.sprintf "g%d" (i + 1) in
+      if Rng.bernoulli rng profile.update_fraction then
+        Query.entry qid (Query.Dml (random_dml schema rng profile))
+      else Query.entry qid (Query.Select (random_select schema rng profile)))

@@ -1,0 +1,79 @@
+(** "DS1": a synthetic decision-support star-schema database.
+
+    One wide fact table and six dimensions of varying size, standing in for
+    the real customer database DS1 of the paper's evaluation (Table 2).
+    Queries over it are generated with {!Generator}. *)
+
+module Catalog = Relax_catalog.Catalog
+module D = Relax_catalog.Distribution
+open Relax_sql.Types
+
+let scale_rows scale n = max 10 (int_of_float (float_of_int n *. scale))
+
+let catalog ?(scale = 0.05) ?(seed = 101) () : Catalog.t =
+  let r = scale_rows scale in
+  let dim name rows extra =
+    Catalog.table name ~rows
+      ([
+         Catalog.column (name ^ "_key") Int ~dist:D.Serial;
+         Catalog.column (name ^ "_name") (Varchar 30);
+         Catalog.column (name ^ "_class") Int
+           ~dist:(D.Zipf { n = 20; skew = 0.4 });
+       ]
+      @ extra)
+  in
+  Catalog.create ~seed
+    [
+      dim "product" (r 30_000)
+        [
+          Catalog.column "product_price" Float
+            ~dist:(D.Normal { mean = 80.0; stddev = 40.0 });
+          Catalog.column "product_category" Int
+            ~dist:(D.Uniform (0.0, 49.0));
+        ];
+      dim "store" (r 1_000)
+        [ Catalog.column "store_region" Int ~dist:(D.Uniform (0.0, 19.0)) ];
+      dim "customer_d" (r 100_000)
+        [
+          Catalog.column "customer_d_segment" Int
+            ~dist:(D.Zipf { n = 8; skew = 0.4 });
+          Catalog.column "customer_d_income" Float
+            ~dist:(D.Normal { mean = 60_000.0; stddev = 25_000.0 });
+        ];
+      dim "promotion" (r 2_000) [];
+      dim "time_d" 2_555
+        [
+          Catalog.column "time_d_month" Int ~dist:(D.Uniform (1.0, 12.0));
+          Catalog.column "time_d_year" Int ~dist:(D.Uniform (1998.0, 2004.0));
+        ];
+      Catalog.table "sales" ~rows:(r 5_000_000)
+        [
+          Catalog.column "sales_product" Int
+            ~dist:(D.Uniform (0.0, float_of_int (r 30_000 - 1)));
+          Catalog.column "sales_store" Int
+            ~dist:(D.Uniform (0.0, float_of_int (r 1_000 - 1)));
+          Catalog.column "sales_customer" Int
+            ~dist:(D.Uniform (0.0, float_of_int (r 100_000 - 1)));
+          Catalog.column "sales_promo" Int
+            ~dist:(D.Uniform (0.0, float_of_int (r 2_000 - 1)));
+          Catalog.column "sales_time" Int ~dist:(D.Uniform (0.0, 2554.0));
+          Catalog.column "sales_qty" Int ~dist:(D.Uniform (1.0, 100.0));
+          Catalog.column "sales_amount" Float
+            ~dist:(D.Normal { mean = 250.0; stddev = 120.0 });
+          Catalog.column "sales_cost" Float
+            ~dist:(D.Normal { mean = 180.0; stddev = 90.0 });
+        ];
+    ]
+
+let join_graph : (column * column) list =
+  let c = Column.make in
+  [
+    (c "sales" "sales_product", c "product" "product_key");
+    (c "sales" "sales_store", c "store" "store_key");
+    (c "sales" "sales_customer", c "customer_d" "customer_d_key");
+    (c "sales" "sales_promo", c "promotion" "promotion_key");
+    (c "sales" "sales_time", c "time_d" "time_d_key");
+  ]
+
+let schema ?scale ?seed () : Generator.schema =
+  { catalog = catalog ?scale ?seed (); joins = join_graph }

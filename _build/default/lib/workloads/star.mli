@@ -1,0 +1,10 @@
+(** "DS1": a synthetic decision-support star schema (one wide fact table,
+    five dimensions), standing in for the real customer database of the
+    paper's Table 2.  Query workloads over it come from {!Generator}. *)
+
+val catalog : ?scale:float -> ?seed:int -> unit -> Relax_catalog.Catalog.t
+
+val join_graph :
+  (Relax_sql.Types.column * Relax_sql.Types.column) list
+
+val schema : ?scale:float -> ?seed:int -> unit -> Generator.schema

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Column Float Relax_catalog Relax_sql

@@ -1,0 +1,1 @@
+test/suite_baseline.ml: Alcotest Column Fixtures Lazy List Printf Relax_baseline Relax_optimizer Relax_physical Relax_sql Relax_tuner

@@ -1,0 +1,1 @@
+test/suite_catalog.ml: Alcotest Column Fixtures Float List QCheck QCheck_alcotest Relax_catalog Relax_sql

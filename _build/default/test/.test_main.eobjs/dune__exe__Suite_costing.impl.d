@@ -1,0 +1,1 @@
+test/suite_costing.ml: Alcotest Astring_contains Column Fixtures Fmt Lazy List Relax_optimizer Relax_physical Relax_sql

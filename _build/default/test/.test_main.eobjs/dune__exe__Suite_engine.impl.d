@@ -1,0 +1,1 @@
+test/suite_engine.ml: Alcotest Array Column Fixtures Float Lazy List Printf Relax_engine Relax_optimizer Relax_physical Relax_sql Relax_tuner

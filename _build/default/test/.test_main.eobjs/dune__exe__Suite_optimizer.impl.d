@@ -1,0 +1,1 @@
+test/suite_optimizer.ml: Alcotest Column Column_set Fixtures Float Lazy List QCheck QCheck_alcotest Random Relax_optimizer Relax_physical Relax_sql String

@@ -1,0 +1,1 @@
+test/suite_physical.ml: Alcotest Column Column_set Fixtures List Option QCheck QCheck_alcotest Relax_physical Relax_sql String

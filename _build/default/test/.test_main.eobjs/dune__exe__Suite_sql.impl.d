@@ -1,0 +1,1 @@
+test/suite_sql.ml: Alcotest Column Column_set Float List Printexc Printf QCheck QCheck_alcotest Relax_sql

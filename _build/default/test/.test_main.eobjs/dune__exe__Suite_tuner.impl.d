@@ -1,0 +1,1 @@
+test/suite_tuner.ml: Alcotest Column Column_set Fixtures Lazy List Option Printf QCheck QCheck_alcotest Relax_optimizer Relax_physical Relax_sql Relax_tuner Unix

@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Fixtures Float List Printexc Printf QCheck QCheck_alcotest Relax_catalog Relax_optimizer Relax_physical Relax_sql Relax_tuner Relax_workloads String

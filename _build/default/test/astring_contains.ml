@@ -1,0 +1,22 @@
+(** Tiny substring helpers for tests (avoiding an astring dependency). *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let count haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then 0
+  else begin
+    let rec go i acc =
+      if i + nn > nh then acc
+      else if String.sub haystack i nn = needle then go (i + nn) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  end

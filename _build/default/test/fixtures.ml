@@ -1,0 +1,51 @@
+(** Shared test fixtures: a small deterministic catalog and helpers. *)
+
+open Relax_sql.Types
+module Catalog = Relax_catalog.Catalog
+module Distribution = Relax_catalog.Distribution
+
+let c = Column.make
+
+(* A small star-ish schema: fact table r, dimensions s and t. *)
+let small_catalog () =
+  Catalog.create ~seed:7
+    [
+      Catalog.table "r" ~rows:100_000
+        [
+          Catalog.column "id" Int ~dist:Distribution.Serial;
+          Catalog.column "a" Int ~dist:(Distribution.Uniform (0.0, 1000.0));
+          Catalog.column "b" Int ~dist:(Distribution.Uniform (0.0, 100.0));
+          Catalog.column "cc" Int ~dist:(Distribution.Uniform (0.0, 10000.0));
+          Catalog.column "d" Int ~dist:(Distribution.Uniform (0.0, 50.0));
+          Catalog.column "e" (Varchar 32);
+          Catalog.column "sid" Int ~dist:(Distribution.Uniform (0.0, 999.0));
+          Catalog.column "tid" Int ~dist:(Distribution.Uniform (0.0, 99.0));
+        ];
+      Catalog.table "s" ~rows:1_000
+        [
+          Catalog.column "id" Int ~dist:Distribution.Serial;
+          Catalog.column "x" Int ~dist:(Distribution.Uniform (0.0, 500.0));
+          Catalog.column "y" (Varchar 16);
+        ];
+      Catalog.table "t" ~rows:100
+        [
+          Catalog.column "id" Int ~dist:Distribution.Serial;
+          Catalog.column "z" Int ~dist:(Distribution.Uniform (0.0, 20.0));
+        ];
+    ]
+
+let parse_select s =
+  match Relax_sql.Parser.statement s with
+  | Relax_sql.Query.Select q -> q
+  | _ -> Alcotest.fail "expected a select statement"
+
+let parse_dml s =
+  match Relax_sql.Parser.statement s with
+  | Relax_sql.Query.Dml d -> d
+  | _ -> Alcotest.fail "expected a DML statement"
+
+let float_eq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (float_eq ~eps expected actual) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual

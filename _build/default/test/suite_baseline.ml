@@ -1,0 +1,145 @@
+(** Tests for the bottom-up baseline (CTT). *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+module Index = Relax_physical.Index
+module Config = Relax_physical.Config
+module O = Relax_optimizer
+module B = Relax_baseline
+
+let cat = lazy (Fixtures.small_catalog ())
+let mb x = x *. 1024.0 *. 1024.0
+
+let workload_of_strings l : Query.workload =
+  List.mapi
+    (fun i s -> Query.entry (Printf.sprintf "q%d" (i + 1)) (Relax_sql.Parser.statement s))
+    l
+
+let test_candidates_from_structure () =
+  let q =
+    Fixtures.parse_select
+      "SELECT r.a, r.b FROM r WHERE r.a = 5 AND r.d < 10 ORDER BY r.b"
+  in
+  let cands = B.Candidate.index_candidates q in
+  Alcotest.(check bool) "several candidates" true (List.length cands >= 3);
+  (* equality column a must appear as a leading key somewhere *)
+  Alcotest.(check bool) "a leads some candidate" true
+    (List.exists
+       (fun (i : Index.t) ->
+         match i.keys with
+         | k :: _ -> Column.equal k (Column.make "r" "a")
+         | [] -> false)
+       cands)
+
+let test_candidate_key_cap () =
+  let q =
+    Fixtures.parse_select
+      "SELECT r.a FROM r WHERE r.a = 1 AND r.b = 2 AND r.cc = 3 AND r.d = 4"
+  in
+  let cands = B.Candidate.index_candidates q in
+  List.iter
+    (fun (i : Index.t) ->
+      Alcotest.(check bool) "at most 3 key columns" true (List.length i.keys <= 3))
+    cands
+
+let test_view_candidates_whole_block_only () =
+  let cat = Lazy.force cat in
+  let env = O.Env.make cat Config.empty in
+  let q =
+    Fixtures.parse_select
+      "SELECT r.a, SUM(s.x) FROM r, s WHERE r.sid = s.id GROUP BY r.a"
+  in
+  let vcands = B.Candidate.view_candidates env q in
+  (* full block + SPJ core *)
+  Alcotest.(check int) "two view candidates" 2 (List.length vcands)
+
+let tune ?(views = false) ?(budget = mb 50.0) w =
+  let cat = Lazy.force cat in
+  B.Ctt.tune cat (workload_of_strings w)
+    (B.Ctt.default_options ~with_views:views ~space_budget:budget ())
+
+let small_workload =
+  [
+    "SELECT r.a, r.b FROM r WHERE r.a = 5";
+    "SELECT r.b, r.cc FROM r WHERE r.b = 7 AND r.d < 10";
+    "SELECT r.a, s.y FROM r, s WHERE r.sid = s.id AND r.a < 20";
+    "SELECT r.d, SUM(r.a) FROM r GROUP BY r.d";
+  ]
+
+let test_ctt_improves () =
+  let r = tune small_workload in
+  Alcotest.(check bool) "positive improvement" true (r.improvement > 0.0);
+  Alcotest.(check bool) "within budget" true (r.recommended_size <= mb 50.0)
+
+let test_ctt_respects_budget () =
+  (* base-table heaps (~6 MB) count toward the budget *)
+  let r = tune ~budget:(mb 8.0) small_workload in
+  Alcotest.(check bool) "within tight budget" true (r.recommended_size <= mb 8.0)
+
+let test_ctt_trace_monotone () =
+  let r = tune small_workload in
+  let costs = List.map snd r.trace in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "greedy trace decreasing" true (monotone costs)
+
+let test_ctt_with_views_at_least_as_good () =
+  let w =
+    [
+      "SELECT r.a, SUM(s.x) FROM r, s WHERE r.sid = s.id GROUP BY r.a";
+      "SELECT r.d, SUM(r.a) FROM r GROUP BY r.d";
+    ]
+  in
+  let without = tune ~views:false w in
+  let with_v = tune ~views:true w in
+  Alcotest.(check bool) "views help grouped joins" true
+    (with_v.recommended_cost <= without.recommended_cost +. 1e-6)
+
+let test_ctt_update_workload () =
+  let r =
+    tune
+      [
+        "SELECT r.a, r.b FROM r WHERE r.a = 5";
+        "UPDATE r SET b = b + 1 WHERE a < 100";
+      ]
+  in
+  Alcotest.(check bool) "handles updates" true
+    (r.recommended_cost <= r.initial_cost +. 1e-6)
+
+(* the paper's headline comparison, in miniature: on workloads where the
+   optimal structures are visible only through optimizer requests, the
+   relaxation tuner should never lose to the bottom-up baseline by much,
+   and usually win *)
+let test_ptt_not_worse_than_ctt () =
+  let cat = Lazy.force cat in
+  let w = workload_of_strings small_workload in
+  let budget = mb 12.0 in
+  let ctt =
+    B.Ctt.tune cat w (B.Ctt.default_options ~with_views:false ~space_budget:budget ())
+  in
+  let opts =
+    Relax_tuner.Tuner.default_options ~mode:Relax_tuner.Tuner.Indexes_only
+      ~space_budget:budget ()
+  in
+  let ptt = Relax_tuner.Tuner.tune cat w { opts with max_iterations = 150 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "PTT %.1f%% vs CTT %.1f%%" ptt.improvement ctt.improvement)
+    true
+    (ptt.improvement >= ctt.improvement -. 5.0)
+
+let suite =
+  [
+    Alcotest.test_case "candidates from query structure" `Quick
+      test_candidates_from_structure;
+    Alcotest.test_case "key cap shortcut" `Quick test_candidate_key_cap;
+    Alcotest.test_case "view candidates" `Quick test_view_candidates_whole_block_only;
+    Alcotest.test_case "ctt improves" `Quick test_ctt_improves;
+    Alcotest.test_case "ctt budget" `Quick test_ctt_respects_budget;
+    Alcotest.test_case "ctt trace monotone" `Quick test_ctt_trace_monotone;
+    Alcotest.test_case "ctt views help" `Quick test_ctt_with_views_at_least_as_good;
+    Alcotest.test_case "ctt updates" `Quick test_ctt_update_workload;
+    Alcotest.test_case "PTT >= CTT (miniature Fig 8)" `Slow
+      test_ptt_not_worse_than_ctt;
+  ]

@@ -1,0 +1,181 @@
+(** Tests for the execution engine: data generation, exact evaluation,
+    measured execution, and cost-model validation. *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+module Index = Relax_physical.Index
+module Config = Relax_physical.Config
+module O = Relax_optimizer
+module E = Relax_engine
+
+let cat = lazy (Fixtures.small_catalog ())
+let db = lazy (E.Data.create ~seed:3 (Lazy.force cat))
+
+let rowset rel = E.Eval.of_relation (E.Data.relation (Lazy.force db) rel)
+
+let test_generation_row_counts () =
+  let r = E.Data.relation (Lazy.force db) "r" in
+  Alcotest.(check int) "r rows" 100_000 (E.Data.row_count r);
+  let s = E.Data.relation (Lazy.force db) "s" in
+  Alcotest.(check int) "s rows" 1_000 (E.Data.row_count s)
+
+let test_generation_deterministic () =
+  let db1 = E.Data.create ~seed:3 (Lazy.force cat) in
+  let db2 = E.Data.create ~seed:3 (Lazy.force cat) in
+  let r1 = E.Data.relation db1 "s" and r2 = E.Data.relation db2 "s" in
+  Alcotest.(check bool) "same rows" true (r1.rows = r2.rows)
+
+let test_serial_column_is_rownum () =
+  let r = E.Data.relation (Lazy.force db) "t" in
+  let id_idx = E.Data.column_index r (Column.make "t" "id") in
+  Array.iteri
+    (fun i row -> Fixtures.check_float "serial" (float_of_int i) row.(id_idx))
+    r.rows
+
+let test_eval_range_filter () =
+  let rs = rowset "t" in
+  let range =
+    Relax_sql.Predicate.range
+      ~lo:(Relax_sql.Predicate.bound (VInt 10))
+      ~hi:(Relax_sql.Predicate.bound (VInt 19))
+      (Column.make "t" "id")
+  in
+  let out = E.Eval.filter rs ~ranges:[ range ] ~others:[] in
+  Alcotest.(check int) "10 rows" 10 (E.Eval.cardinality out)
+
+let test_eval_join_fk () =
+  (* r.tid in [0, 99] joined to t.id (serial 0..99): every r row matches
+     exactly one t row *)
+  let r = rowset "r" and t = rowset "t" in
+  let joins =
+    [ Relax_sql.Predicate.make_join (Column.make "r" "tid") (Column.make "t" "id") ]
+  in
+  let joined = E.Eval.hash_join r t joins in
+  Alcotest.(check int) "fk join preserves fact rows" (E.Eval.cardinality r)
+    (E.Eval.cardinality joined)
+
+let test_eval_group_count_total () =
+  let t = rowset "t" in
+  let grouped =
+    E.Eval.group_by t
+      ~keys:[ Column.make "t" "z" ]
+      ~aggs:[ Query.Item_agg (Count, None) ]
+  in
+  (* counts over groups must sum back to the row count *)
+  let count_idx = Array.length grouped.schema - 1 in
+  let total =
+    Array.fold_left (fun acc row -> acc +. row.(count_idx)) 0.0 grouped.rows
+  in
+  Fixtures.check_float "counts sum to rows" (float_of_int (E.Eval.cardinality t)) total
+
+let test_eval_spjg_matches_manual () =
+  let q =
+    (Fixtures.parse_select "SELECT t.z FROM t WHERE t.id < 50 AND t.z >= 10").body
+  in
+  let out = E.Eval.spjg (Lazy.force db) q in
+  (* brute-force the same condition *)
+  let t = rowset "t" in
+  let idi = E.Eval.index_of t (Column.make "t" "id") in
+  let zi = E.Eval.index_of t (Column.make "t" "z") in
+  let expected =
+    Array.fold_left
+      (fun acc row -> if row.(idi) < 50.0 && row.(zi) >= 10.0 then acc + 1 else acc)
+      0 t.rows
+  in
+  Alcotest.(check int) "same count" expected (E.Eval.cardinality out)
+
+let test_view_materialization () =
+  let v =
+    Relax_physical.View.make
+      (Fixtures.parse_select "SELECT t.z, COUNT(*) FROM t GROUP BY t.z").body
+  in
+  let rel = E.Eval.materialize_view (Lazy.force db) v in
+  Alcotest.(check bool) "registered" true
+    (E.Data.mem (Lazy.force db) (Relax_physical.View.name v));
+  Alcotest.(check bool) "groups <= 21 distinct z" true
+    (E.Data.row_count rel <= 21);
+  Alcotest.(check int) "two output columns" 2 (Array.length rel.schema)
+
+(* --- measured execution --------------------------------------------------- *)
+
+let measure ?(config = Config.empty) qs =
+  let cat = Lazy.force cat in
+  let db = Lazy.force db in
+  List.iter (fun v -> ignore (E.Eval.materialize_view db v)) (Config.views config);
+  let q = Fixtures.parse_select qs in
+  let plan = O.Optimizer.optimize cat config q in
+  let env = O.Env.make cat config in
+  (plan, E.Measure.plan db env plan)
+
+let test_measure_rows_exact () =
+  let _, m = measure "SELECT t.z FROM t WHERE t.id < 25" in
+  Alcotest.(check int) "exact rows" 25 (E.Eval.cardinality m.rows)
+
+let test_measure_join_rows_exact () =
+  let _, m =
+    measure "SELECT r.a, t.z FROM r, t WHERE r.tid = t.id AND t.id < 10"
+  in
+  (* r.tid uniform over [0,99]: about 10% of r's rows survive *)
+  let n = E.Eval.cardinality m.rows in
+  Alcotest.(check bool) "about 10%" true (n > 8_000 && n < 12_000)
+
+let test_measure_cost_positive_finite () =
+  let plan, m = measure "SELECT r.a, r.b FROM r WHERE r.a = 5" in
+  Alcotest.(check bool) "measured positive" true (m.cost > 0.0 && Float.is_finite m.cost);
+  Alcotest.(check bool) "estimated positive" true (plan.cost > 0.0)
+
+let test_measure_index_agrees_with_estimate_direction () =
+  (* the measured costs must agree with the model that an index beats the
+     scan for a selective predicate *)
+  let qs = "SELECT r.a, r.b FROM r WHERE r.a = 5" in
+  let _, m_scan = measure qs in
+  let config = Config.of_indexes [ Index.on "r" [ "a" ] ~suffix:[ "b" ] ] in
+  let _, m_idx = measure ~config qs in
+  Alcotest.(check bool) "index wins measured too" true
+    (m_idx.cost < m_scan.cost)
+
+let test_validate_report () =
+  let cat = Lazy.force cat in
+  let db = Lazy.force db in
+  let w =
+    List.mapi
+      (fun i s -> Query.entry (Printf.sprintf "q%d" (i + 1)) (Relax_sql.Parser.statement s))
+      [
+        "SELECT r.a, r.b FROM r WHERE r.a = 5";
+        "SELECT r.d, SUM(r.a) FROM r GROUP BY r.d";
+        "SELECT r.a, s.y FROM r, s WHERE r.sid = s.id AND r.a < 100";
+      ]
+  in
+  let inst =
+    Relax_tuner.Instrument.optimal_configuration cat ~base:Config.empty w
+  in
+  let base = E.Validate.run db Config.empty w in
+  let opt = E.Validate.run db inst.optimal w in
+  Alcotest.(check int) "all queries measured" 3 (List.length base.queries);
+  (* the model's headline decision must hold on real data: the optimal
+     configuration wins measured execution too *)
+  Alcotest.(check bool)
+    (Printf.sprintf "optimal measured %.1f < base measured %.1f"
+       opt.measured_total base.measured_total)
+    true
+    (opt.measured_total < base.measured_total);
+  Alcotest.(check bool) "q-error sane" true (E.Validate.q_error base < 5.0)
+
+let suite =
+  [
+    Alcotest.test_case "generation: row counts" `Quick test_generation_row_counts;
+    Alcotest.test_case "generation: deterministic" `Quick
+      test_generation_deterministic;
+    Alcotest.test_case "generation: serial column" `Quick test_serial_column_is_rownum;
+    Alcotest.test_case "eval: range filter" `Quick test_eval_range_filter;
+    Alcotest.test_case "eval: fk join" `Quick test_eval_join_fk;
+    Alcotest.test_case "eval: group count total" `Quick test_eval_group_count_total;
+    Alcotest.test_case "eval: spjg vs brute force" `Quick test_eval_spjg_matches_manual;
+    Alcotest.test_case "view materialization" `Quick test_view_materialization;
+    Alcotest.test_case "measure: exact rows" `Quick test_measure_rows_exact;
+    Alcotest.test_case "measure: join rows" `Quick test_measure_join_rows_exact;
+    Alcotest.test_case "measure: finite costs" `Quick test_measure_cost_positive_finite;
+    Alcotest.test_case "measure: index wins on real data" `Quick
+      test_measure_index_agrees_with_estimate_direction;
+    Alcotest.test_case "validate: optimal wins measured" `Quick test_validate_report;
+  ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "relax"
+    [
+      ("sql", Suite_sql.suite);
+      ("catalog", Suite_catalog.suite);
+      ("physical", Suite_physical.suite);
+      ("optimizer", Suite_optimizer.suite);
+      ("tuner", Suite_tuner.suite);
+      ("baseline", Suite_baseline.suite);
+      ("workloads", Suite_workloads.suite);
+      ("costing", Suite_costing.suite);
+      ("engine", Suite_engine.suite);
+      ("integration", Suite_integration.suite);
+    ]
