@@ -664,8 +664,81 @@ let experiments =
     ("micro", micro);
   ]
 
+(* Run one experiment under its own recorder so its metrics snapshot can be
+   reported separately; every tuner call inside inherits the ambient
+   recorder. *)
+let run_instrumented name f =
+  let recorder = Relax_obs.Recorder.create () in
+  let t0 = now () in
+  Relax_obs.Recorder.with_ambient recorder f;
+  let elapsed = now () -. t0 in
+  (name, elapsed, Relax_obs.Recorder.snapshot recorder)
+
+let results_json ~total_elapsed results =
+  let open Relax_obs.Json in
+  let aggregate =
+    Relax_obs.Metrics.merge_all (List.map (fun (_, _, m) -> m) results)
+  in
+  Obj
+    [
+      ("total_elapsed_s", Float total_elapsed);
+      ( "experiments",
+        List
+          (List.map
+             (fun (name, elapsed, m) ->
+               Obj
+                 [
+                   ("name", String name);
+                   ("elapsed_s", Float elapsed);
+                   ("metrics", Relax_obs.Metrics.to_json m);
+                 ])
+             results) );
+      ("metrics", Relax_obs.Metrics.to_json aggregate);
+    ]
+
+let parse_log_level = function
+  | "quiet" -> Ok None
+  | "app" -> Ok (Some Logs.App)
+  | "error" -> Ok (Some Logs.Error)
+  | "warning" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | s -> Error s
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  (* peel off --json PATH / --json=PATH and --log-level LEVEL *)
+  let json_path = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse acc rest
+    | "--log-level" :: level :: rest -> (
+      match parse_log_level level with
+      | Ok l ->
+        Logs.set_level l;
+        parse acc rest
+      | Error s ->
+        Printf.eprintf "unknown log level %s\n" s;
+        exit 1)
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--json="
+      ->
+      json_path := Some (String.sub arg 7 (String.length arg - 7));
+      parse acc rest
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let args = parse [] args in
+  (* fail fast on an unwritable --json path, not after the experiments *)
+  (match !json_path with
+  | None -> ()
+  | Some path -> (
+    try Out_channel.with_open_bin path (fun _ -> ())
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" path msg;
+      exit 1));
   let t0 = now () in
   let to_run =
     match args with
@@ -681,5 +754,17 @@ let () =
             exit 1)
         names
   in
-  List.iter (fun (_, f) -> f ()) to_run;
-  Printf.printf "\nall experiments completed in %.1f s\n" (now () -. t0)
+  let results = List.map (fun (n, f) -> run_instrumented n f) to_run in
+  let total = now () -. t0 in
+  (match !json_path with
+  | None -> ()
+  | Some path -> (
+    try
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Relax_obs.Json.to_string
+               (results_json ~total_elapsed:total results));
+          Out_channel.output_char oc '\n');
+      Printf.printf "results written to %s\n" path
+    with Sys_error msg -> Printf.eprintf "cannot write %s: %s\n" path msg));
+  Printf.printf "\nall experiments completed in %.1f s\n" total

@@ -27,11 +27,10 @@ let schema_of_db ~scale = function
   | Bench -> W.Bench_db.schema ~scale ()
 
 let read_file path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  src
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg ->
+    Fmt.epr "tune: cannot read %s: %s@." path msg;
+    exit 2
 
 let load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
     ~updates =
@@ -61,11 +60,10 @@ let load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
   (schema.catalog, workload)
 
 let run db scale schema_file queries file generate seed updates tool mode
-    budget_mb iterations time_s ddl do_compress explain analyze verbose =
-  if verbose then begin
-    Logs.set_reporter (Logs_fmt.reporter ());
-    Logs.set_level (Some Logs.Debug)
-  end;
+    budget_mb iterations time_s ddl do_compress explain analyze verbose
+    log_level trace_file metrics frontier_csv_file =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else log_level);
   let catalog, workload =
     load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
       ~updates
@@ -103,8 +101,35 @@ let run db scale schema_file queries file generate seed updates tool mode
         time_budget_s = time_s;
       }
     in
-    let r = T.Tuner.tune catalog workload opts in
+    let open_out_checked ~what path f =
+      try f path
+      with Sys_error msg ->
+        Fmt.epr "tune: cannot write %s %s: %s@." what path msg;
+        exit 2
+    in
+    let sink =
+      Option.map
+        (fun p -> open_out_checked ~what:"trace" p Relax_obs.Trace.file)
+        trace_file
+    in
+    let obs = Relax_obs.Recorder.create ?sink () in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Relax_obs.Trace.close sink)
+        (fun () -> T.Tuner.tune ~obs catalog workload opts)
+    in
+    Option.iter
+      (fun path -> Fmt.pr "trace written to %s@." path)
+      trace_file;
     Fmt.pr "@.%a@." T.Report.pp_summary r;
+    if metrics then Fmt.pr "@.%a@." T.Report.pp_metrics r;
+    Option.iter
+      (fun path ->
+        open_out_checked ~what:"frontier CSV" path (fun path ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (T.Report.frontier_csv r)));
+        Fmt.pr "frontier written to %s@." path)
+      frontier_csv_file;
     Fmt.pr "@.%a@." T.Report.pp_request_stats r;
     Fmt.pr "@.%a@." T.Report.pp_frontier r;
     Fmt.pr "@.recommended configuration:@.%a@." T.Report.pp_recommendation r;
@@ -281,7 +306,58 @@ let analyze =
               plans: estimated vs actual (ptt only).")
 
 let verbose =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Enable debug logging (same as --log-level debug).")
+
+let log_level =
+  let levels =
+    [
+      ("quiet", None);
+      ("app", Some Logs.App);
+      ("error", Some Logs.Error);
+      ("warning", Some Logs.Warning);
+      ("info", Some Logs.Info);
+      ("debug", Some Logs.Debug);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) (Some Logs.Warning)
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Log verbosity: quiet, app, error, warning, info or debug.")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Write a JSON-lines search trace (ptt only): one event per \
+           relaxation iteration with the chosen transformation, predicted \
+           \\$(b,delta_cost)/\\$(b,delta_space), penalty, realized \
+           cost/size and the cost-bound drift ratio, plus one event per \
+           what-if optimizer call.")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the structured metrics table after tuning (ptt only): \
+           what-if traffic, plans patched vs re-optimized, shortcut \
+           aborts, per-kind transformation counts, pool sizes and span \
+           timings.")
+
+let frontier_csv_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "frontier-csv" ] ~docv:"FILE.csv"
+        ~doc:
+          "Write the explored (size, cost) points as CSV with a pareto \
+           membership column (ptt only).")
 
 let cmd =
   let doc = "automatic physical database tuning (relaxation-based)" in
@@ -290,6 +366,7 @@ let cmd =
     Term.(
       const run $ db $ scale $ schema_file $ queries $ file $ generate
       $ seed $ updates $ tool $ mode $ budget_mb $ iterations $ time_s $ ddl
-      $ do_compress $ explain $ analyze $ verbose)
+      $ do_compress $ explain $ analyze $ verbose $ log_level $ trace_file
+      $ metrics $ frontier_csv_file)
 
 let () = exit (Cmd.eval cmd)

@@ -196,6 +196,7 @@ let optimal_configuration catalog ~(base : Config.t) ?(views = true)
   let continue = ref true in
   while !continue && !passes < max_passes do
     incr passes;
+    Relax_obs.Probe.count "instrument.passes";
     let added = ref false in
     List.iter
       (fun (qid, sq) ->
@@ -220,7 +221,10 @@ let optimal_configuration catalog ~(base : Config.t) ?(views = true)
                 end);
           }
         in
-        let _plan = O.Optimizer.optimize catalog !config ~hooks sq in
+        let _plan =
+          Relax_obs.Probe.span "instrument.optimize" (fun () ->
+              O.Optimizer.optimize catalog !config ~hooks sq)
+        in
         List.iter
           (fun i ->
             if not (Config.mem_index !config i) then begin

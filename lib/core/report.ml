@@ -18,8 +18,14 @@ let pp_summary ppf (r : Tuner.result) =
   Fmt.pf ppf "improvement           : %.1f%%@," r.improvement;
   Fmt.pf ppf "lower bound on cost   : %.1f@," r.lower_bound;
   Fmt.pf ppf "search                : %d iterations, %d optimizer calls, %d cache hits, %.2fs@,"
-    r.iterations r.optimizer_calls r.cache_hits r.elapsed_s;
+    r.iterations r.metrics.what_if_calls r.metrics.cache_hits r.elapsed_s;
   Fmt.pf ppf "@]"
+
+(** The full metrics table ([--metrics]): what-if traffic, plan patching
+    vs. re-optimization, shortcut aborts, per-kind transformation counts,
+    pool sizes and span timings. *)
+let pp_metrics ppf (r : Tuner.result) =
+  Relax_obs.Metrics.pp ppf r.metrics
 
 let pp_recommendation ppf (r : Tuner.result) =
   Fmt.pf ppf "%a" Config.pp r.recommended
@@ -49,6 +55,23 @@ let pp_frontier ppf (r : Tuner.result) =
     (fun (s, c) -> Fmt.pf ppf "  %a  %.1f@," Size_model.pp_bytes s c)
     f;
   Fmt.pf ppf "@]"
+
+(** Machine-readable frontier ([--frontier-csv]): every explored
+    configuration as [size_bytes,cost,pareto] where [pareto] flags
+    membership in the non-dominated frontier. *)
+let frontier_csv (r : Tuner.result) : string =
+  let pareto = pareto_frontier r.frontier in
+  let on_frontier s c =
+    List.exists (fun (s', c') -> s = s' && c = c') pareto
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "size_bytes,cost,pareto\n";
+  List.iter
+    (fun (s, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.0f,%.6f,%b\n" s c (on_frontier s c)))
+    r.frontier;
+  Buffer.contents buf
 
 let pp_request_stats ppf (r : Tuner.result) =
   Fmt.pf ppf "@[<v>query                #index reqs  #view reqs@,";

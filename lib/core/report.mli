@@ -4,10 +4,20 @@
 val pp_summary : Format.formatter -> Tuner.result -> unit
 val pp_recommendation : Format.formatter -> Tuner.result -> unit
 
+val pp_metrics : Format.formatter -> Tuner.result -> unit
+(** The full metrics table ([--metrics]): what-if traffic, plan patching
+    vs. re-optimization, shortcut aborts, per-kind transformation counts,
+    pool sizes and span timings. *)
+
 val pareto_frontier : (float * float) list -> (float * float) list
 (** Non-dominated (size, cost) points, sorted by size. *)
 
 val pp_frontier : Format.formatter -> Tuner.result -> unit
+
+val frontier_csv : Tuner.result -> string
+(** Machine-readable frontier ([--frontier-csv]): header
+    [size_bytes,cost,pareto], one line per explored configuration. *)
+
 val pp_request_stats : Format.formatter -> Tuner.result -> unit
 
 val pp_regressions : Format.formatter -> Tuner.result -> unit

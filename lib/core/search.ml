@@ -24,6 +24,7 @@ module Config = Relax_physical.Config
 module Index = Relax_physical.Index
 module View = Relax_physical.View
 module O = Relax_optimizer
+module Obs = Relax_obs
 module String_map = Map.Make (String)
 
 let src = Logs.Src.create "relax.search" ~doc:"relaxation search"
@@ -268,9 +269,14 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
         (fun acc (qid, w, q) ->
           let old_plan = String_map.find qid parent.plans in
           let plan =
-            if Cost_bound.plan_affected ctx old_plan then
+            if Cost_bound.plan_affected ctx old_plan then begin
+              Obs.Probe.plan_reoptimized ();
               O.Whatif.plan_select st.whatif config ~qid q
-            else old_plan
+            end
+            else begin
+              Obs.Probe.plan_patched ();
+              old_plan
+            end
           in
           total := !total +. (w *. plan.O.Plan.cost);
           if st.opts.shortcut_evaluation && !total > best_cost *. 3.0 then
@@ -331,7 +337,9 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
     in
     st.next_id <- st.next_id + 1;
     Some node
-  with Shortcut -> None
+  with Shortcut ->
+    Obs.Probe.shortcut_abort ();
+    None
 
 (* ------------------------------------------------------------------ *)
 (* candidate ranking (§3.4, §3.6)                                      *)
@@ -339,6 +347,9 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
 
 let rank_candidates st (n : node) : candidate list =
   let transforms = Transform.enumerate ~protected:st.opts.protected n.config in
+  List.iter
+    (fun tr -> Obs.Probe.transform_generated ~kind:(Transform.kind tr))
+    transforms;
   let old_env = O.Env.make st.catalog n.config in
   (* index which queries use which structures, so each transformation only
      touches the plans it actually affects *)
@@ -460,7 +471,7 @@ let rank_candidates st (n : node) : candidate list =
 
 let ensure_candidates st n =
   if not n.candidates_ready then begin
-    n.untried <- rank_candidates st n;
+    n.untried <- Obs.Probe.span "search.rank_candidates" (fun () -> rank_candidates st n);
     n.candidates_ready <- true
   end
 
@@ -597,9 +608,55 @@ type outcome = {
   cache_hits : int;
 }
 
-(** Run the relaxation search from an initial (optimal) configuration. *)
-let run catalog ~(workload : Query.workload) ~(initial : Config.t)
+(* One JSONL event per search iteration: the chosen transformation, its
+   predicted ΔT/ΔS and penalty, the realized cost/size after evaluation and
+   the bound-drift ratio (§3.3.2 upper bound vs. actual re-optimized cost;
+   a drift ≥ 1 means the bound held). *)
+let emit_iteration (st : state) ~(parent : node) ~(cand : candidate) ~status
+    ~(node : node option) =
+  Obs.Probe.emit (fun () ->
+      let open Obs.Json in
+      let predicted_cost = parent.cost +. cand.delta_cost in
+      let predicted_size = parent.size -. cand.delta_space in
+      let realized =
+        match node with
+        | None -> [ ("node", Null); ("actual_cost", Null); ("actual_size", Null); ("bound_drift", Null) ]
+        | Some n ->
+          [ ("node", Int n.id);
+            ("actual_cost", Float n.cost);
+            ("actual_size", Float n.size);
+            ("bound_drift", Float (if n.cost > 0.0 then predicted_cost /. n.cost else 1.0));
+          ]
+      in
+      Obj
+        ([ ("event", String "iteration");
+           ("iteration", Int st.iterations);
+           ("parent", Int parent.id);
+           ("transform", String (Fmt.str "%a" Transform.pp cand.tr));
+           ("kind", String (Transform.kind cand.tr));
+           ("penalty", Float cand.penalty);
+           ("delta_cost", Float cand.delta_cost);
+           ("delta_space", Float cand.delta_space);
+           ("predicted_cost", Float predicted_cost);
+           ("predicted_size", Float predicted_size);
+           ("outcome", String status);
+         ]
+        @ realized
+        @ [ ("pool", Int (List.length st.nodes));
+            ("best_cost",
+             match st.best with Some b -> Float b.cost | None -> Null);
+          ]))
+
+(** Run the relaxation search from an initial (optimal) configuration.
+    When [obs] is given it is installed as the ambient recorder for the
+    duration of the search, so every probe in the optimizer stack below
+    reports into it. *)
+let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
     (opts : options) : outcome =
+  (match obs with
+  | Some r -> Obs.Recorder.with_ambient r
+  | None -> fun f -> f ())
+  @@ fun () ->
   let whatif = O.Whatif.create catalog in
   let prepared = prepare workload in
   let st =
@@ -673,41 +730,53 @@ let run catalog ~(workload : Query.workload) ~(initial : Config.t)
          st.candidates_trace <- untried_ready_count st :: st.candidates_trace;
          match pick_candidate st c with
          | None -> () (* will be skipped next pick *)
-         | Some cand -> (
+         | Some cand ->
            st.iterations <- st.iterations + 1;
-           match
-             Transform.apply ~estimate_rows:(estimate_view_rows st) c.config
-               cand.tr
-           with
-           | None -> ()
-           | Some config' ->
-             (* §3.5 variant: pile up to k−1 further non-conflicting
-                transformations before evaluating *)
-             let config' =
-               if opts.transforms_per_iteration <= 1 then config'
-               else extend_with_transforms st c config'
-                      (opts.transforms_per_iteration - 1)
-             in
-             let fp = Config.fingerprint config' in
-             if not (Hashtbl.mem st.seen fp) then begin
-               Hashtbl.replace st.seen fp ();
-               match evaluate st ~parent:c ~tr:cand.tr config' with
-               | None -> () (* shortcut-pruned *)
-               | Some node ->
-                 st.nodes <- node :: st.nodes;
-                 Hashtbl.replace st.by_id node.id node;
-                 last := node;
-                 let fits = node.size <= opts.space_budget in
-                 let better =
-                   match st.best with
-                   | None -> fits
-                   | Some b -> fits && node.cost < b.cost
-                 in
-                 if better then begin
-                   st.best <- Some node;
-                   best_trace := (st.iterations, node.cost) :: !best_trace
-                 end
-             end))
+           Obs.Probe.iteration ();
+           let status, produced =
+             match
+               Transform.apply ~estimate_rows:(estimate_view_rows st) c.config
+                 cand.tr
+             with
+             | None -> ("inapplicable", None)
+             | Some config' -> (
+               (* §3.5 variant: pile up to k−1 further non-conflicting
+                  transformations before evaluating *)
+               let config' =
+                 if opts.transforms_per_iteration <= 1 then config'
+                 else extend_with_transforms st c config'
+                        (opts.transforms_per_iteration - 1)
+               in
+               Obs.Probe.transform_applied ~kind:(Transform.kind cand.tr);
+               let fp = Config.fingerprint config' in
+               if Hashtbl.mem st.seen fp then ("duplicate", None)
+               else begin
+                 Hashtbl.replace st.seen fp ();
+                 match
+                   Obs.Probe.span "search.evaluate" (fun () ->
+                       evaluate st ~parent:c ~tr:cand.tr config')
+                 with
+                 | None -> ("shortcut", None) (* shortcut-pruned *)
+                 | Some node ->
+                   Obs.Probe.config_evaluated ();
+                   st.nodes <- node :: st.nodes;
+                   Hashtbl.replace st.by_id node.id node;
+                   last := node;
+                   let fits = node.size <= opts.space_budget in
+                   let better =
+                     match st.best with
+                     | None -> fits
+                     | Some b -> fits && node.cost < b.cost
+                   in
+                   if better then begin
+                     st.best <- Some node;
+                     best_trace := (st.iterations, node.cost) :: !best_trace
+                   end;
+                   ("evaluated", Some node)
+               end)
+           in
+           Obs.Probe.pool_size (List.length st.nodes);
+           emit_iteration st ~parent:c ~cand ~status ~node:produced)
      done
    with Exit -> ());
   let calls, hits = O.Whatif.stats whatif in

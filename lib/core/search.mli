@@ -86,9 +86,15 @@ type outcome = {
 }
 
 val run :
+  ?obs:Relax_obs.Recorder.t ->
   Relax_catalog.Catalog.t ->
   workload:Query.workload ->
   initial:Config.t ->
   options ->
   outcome
-(** Run the relaxation search from an initial (optimal) configuration. *)
+(** Run the relaxation search from an initial (optimal) configuration.
+    When [obs] is given it is installed as the ambient
+    {!Relax_obs.Recorder.t} for the duration of the search: spans and
+    counters accumulate into its metrics and one JSONL event is emitted
+    per iteration (plus one per actual what-if optimizer call) into its
+    trace sink. *)

@@ -32,6 +32,16 @@ let pp ppf = function
 (** Stable identity, for bookkeeping of already-tried transformations. *)
 let id t = Fmt.str "%a" pp t
 
+(** Stable per-constructor label (metric and trace keys). *)
+let kind = function
+  | Merge_indexes _ -> "merge_indexes"
+  | Split_indexes _ -> "split_indexes"
+  | Prefix_index _ -> "prefix_index"
+  | Promote_clustered _ -> "promote_clustered"
+  | Remove_index _ -> "remove_index"
+  | Merge_views _ -> "merge_views"
+  | Remove_view _ -> "remove_view"
+
 (** The index structures a transformation removes from the configuration. *)
 let removed_indexes config = function
   | Merge_indexes (a, b) | Split_indexes (a, b) -> [ a; b ]

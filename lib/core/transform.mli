@@ -20,6 +20,10 @@ val pp : Format.formatter -> t -> unit
 val id : t -> string
 (** Stable identity for bookkeeping. *)
 
+val kind : t -> string
+(** The constructor name in snake case ([merge_indexes], [remove_view],
+    ...): the per-kind key used by metrics and trace events. *)
+
 val removed_indexes : Config.t -> t -> Index.t list
 (** Indexes leaving the configuration (for view transformations: every
     index over the removed views). *)

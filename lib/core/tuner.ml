@@ -64,8 +64,10 @@ type result = {
   best_trace : (int * float) list;
       (** (iteration, best valid cost): the anytime behaviour of the search *)
   iterations : int;
-  optimizer_calls : int;
-  cache_hits : int;
+  metrics : Relax_obs.Metrics.snapshot;
+      (** structured counters and span timings for the whole run: what-if
+          calls, cache hits, plans patched vs. re-optimized, shortcut
+          aborts, transformations generated/applied per kind, pool sizes *)
   elapsed_s : float;
 }
 
@@ -78,12 +80,16 @@ let workload_cost catalog config w =
   let whatif = O.Whatif.create catalog in
   O.Whatif.workload_cost whatif config w
 
-(** Tune [workload] against [catalog] under [options]. *)
-let tune (catalog : Catalog.t) (workload : Query.workload) (options : options)
-    : result =
+(* The body of [tune] under an installed recorder.  Returns a closure so
+   the metrics snapshot can be taken after the outermost span has closed. *)
+let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
+    (options : options) : Relax_obs.Metrics.snapshot -> result =
   let t0 = Unix.gettimeofday () in
+  Relax_obs.Recorder.with_ambient recorder @@ fun () ->
+  Relax_obs.Recorder.with_span recorder "tuner.tune" @@ fun () ->
   let views = options.mode = Indexes_and_views in
   let inst =
+    Relax_obs.Recorder.with_span recorder "tuner.instrument" @@ fun () ->
     Instrument.optimal_configuration catalog ~base:options.base_config ~views
       workload
   in
@@ -99,8 +105,10 @@ let tune (catalog : Catalog.t) (workload : Query.workload) (options : options)
     }
   in
   let outcome =
+    Relax_obs.Recorder.with_span recorder "tuner.search" @@ fun () ->
     Search.run catalog ~workload ~initial:inst.optimal search_opts
   in
+  Relax_obs.Recorder.with_span recorder "tuner.report" @@ fun () ->
   let per_query_whatif = O.Whatif.create catalog in
   let per_entry config =
     O.Whatif.per_entry_costs per_query_whatif config workload
@@ -142,25 +150,44 @@ let tune (catalog : Catalog.t) (workload : Query.workload) (options : options)
            0.0 prepared.dmls
     end
   in
-  {
-    workload;
-    initial_cost;
-    initial_size;
-    optimal = outcome.initial.config;
-    optimal_cost = outcome.initial.cost;
-    optimal_size = outcome.initial.size;
-    recommended;
-    recommended_cost;
-    recommended_size;
-    improvement = improvement ~initial:initial_cost ~recommended:recommended_cost;
-    lower_bound;
-    frontier = List.map (fun (s, c, _) -> (s, c)) outcome.explored;
-    candidates_per_iteration = outcome.candidates_per_iteration;
-    request_stats = inst.stats;
-    per_query;
-    best_trace = outcome.best_trace;
-    iterations = outcome.iterations;
-    optimizer_calls = outcome.optimizer_calls;
-    cache_hits = outcome.cache_hits;
-    elapsed_s = Unix.gettimeofday () -. t0;
-  }
+  (* [metrics] is filled in only after the outermost span has closed, so
+     the snapshot includes the "tuner.tune" timing itself. *)
+  fun metrics ->
+    {
+      workload;
+      initial_cost;
+      initial_size;
+      optimal = outcome.initial.config;
+      optimal_cost = outcome.initial.cost;
+      optimal_size = outcome.initial.size;
+      recommended;
+      recommended_cost;
+      recommended_size;
+      improvement =
+        improvement ~initial:initial_cost ~recommended:recommended_cost;
+      lower_bound;
+      frontier = List.map (fun (s, c, _) -> (s, c)) outcome.explored;
+      candidates_per_iteration = outcome.candidates_per_iteration;
+      request_stats = inst.stats;
+      per_query;
+      best_trace = outcome.best_trace;
+      iterations = outcome.iterations;
+      metrics;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    }
+
+(** Tune [workload] against [catalog] under [options].  The run records
+    into [obs] when given, else into the ambient recorder (e.g. one
+    installed by a benchmark harness), else into a fresh private one;
+    either way [result.metrics] is the recorder's final snapshot. *)
+let tune ?obs catalog workload options : result =
+  let recorder =
+    match obs with
+    | Some r -> r
+    | None -> (
+      match Relax_obs.Recorder.ambient () with
+      | Some r -> r
+      | None -> Relax_obs.Recorder.create ())
+  in
+  let finish = tune_spanned recorder catalog workload options in
+  finish (Relax_obs.Recorder.snapshot recorder)

@@ -43,8 +43,10 @@ type result = {
   best_trace : (int * float) list;
       (** (iteration, best valid cost): the anytime behaviour of the search *)
   iterations : int;
-  optimizer_calls : int;
-  cache_hits : int;
+  metrics : Relax_obs.Metrics.snapshot;
+      (** structured counters and span timings for the whole run: what-if
+          calls, cache hits, plans patched vs. re-optimized, shortcut
+          aborts, transformations generated/applied per kind, pool sizes *)
   elapsed_s : float;
 }
 
@@ -53,8 +55,15 @@ val improvement : initial:float -> recommended:float -> float
 
 val workload_cost : Catalog.t -> Config.t -> Query.workload -> float
 
-val tune : Catalog.t -> Query.workload -> options -> result
+val tune :
+  ?obs:Relax_obs.Recorder.t -> Catalog.t -> Query.workload -> options -> result
 (** Derive the optimal configuration by intercepting optimizer requests
     (§2), then relax until the budget is met or iterations/time run out
     (§3).  When nothing fits the budget, the recommendation falls back to
-    the base configuration. *)
+    the base configuration.
+
+    The run records into [obs] when given, else into the ambient
+    {!Relax_obs.Recorder.t} if one is installed (e.g. by a benchmark
+    harness), else into a fresh private recorder; [result.metrics] is the
+    recorder's final snapshot either way.  Attach a {!Relax_obs.Trace.sink}
+    to the recorder to capture the per-iteration JSONL trace. *)

@@ -1,0 +1,258 @@
+(** Minimal JSON: just enough for JSONL traces and their tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_str f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_str f)
+  | String s -> escape buf s
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let utf8_of_code buf u =
+    (* enough for the BMP; the emitter only escapes control characters *)
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else begin
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
+               (match int_of_string_opt ("0x" ^ hex) with
+               | Some u -> utf8_of_code buf u
+               | None -> fail "bad \\u escape")
+             | _ -> fail "unknown escape");
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      end
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_num = ref false in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+      | _ -> false
+    do
+      is_num := true;
+      advance ()
+    done;
+    if not !is_num then fail "expected a number";
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "malformed number")
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> String (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    | None -> fail "unexpected end of input"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws ();
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); go ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !fields)
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        let v = value () in
+        items := v :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); go ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected ',' or ']'"
+      in
+      go ();
+      List (List.rev !items)
+    end
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None

@@ -1,0 +1,34 @@
+(** A minimal JSON value type with a printer and parser.
+
+    The trace layer emits JSON lines and the test-suite parses them back;
+    depending on an external JSON package for that would be the only
+    third-party dependency of the whole observability layer, so this
+    80-line subset is carried here instead.  Non-finite floats print as
+    [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (never contains a newline: suitable for
+    JSONL). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; [Error msg] carries the position of the first
+    offending character. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] for other constructors. *)
+
+val to_float : t -> float option
+(** Numeric coercion of [Int] and [Float]. *)
+
+val to_int : t -> int option
+val to_string_opt : t -> string option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,201 @@
+(** Structured tuning metrics: a mutable accumulator and its snapshots. *)
+
+type t = {
+  mutable what_if_calls : int;
+  mutable cache_hits : int;
+  mutable plans_reoptimized : int;
+  mutable plans_patched : int;
+  mutable shortcut_aborts : int;
+  mutable iterations : int;
+  mutable configurations_evaluated : int;
+  generated : (string, int) Hashtbl.t;
+  applied : (string, int) Hashtbl.t;
+  counters : (string, int) Hashtbl.t;
+  mutable pool_trace : int list;
+}
+
+let create () =
+  {
+    what_if_calls = 0;
+    cache_hits = 0;
+    plans_reoptimized = 0;
+    plans_patched = 0;
+    shortcut_aborts = 0;
+    iterations = 0;
+    configurations_evaluated = 0;
+    generated = Hashtbl.create 8;
+    applied = Hashtbl.create 8;
+    counters = Hashtbl.create 16;
+    pool_trace = [];
+  }
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (Option.value ~default:0 (Hashtbl.find_opt tbl key) + n)
+
+let add_generated t ~kind = bump t.generated kind 1
+let add_applied t ~kind = bump t.applied kind 1
+let count t name n = bump t.counters name n
+let record_pool t n = t.pool_trace <- n :: t.pool_trace
+
+type span_stat = {
+  span_name : string;
+  calls : int;
+  total_s : float;
+  max_depth : int;
+}
+
+type snapshot = {
+  what_if_calls : int;
+  cache_hits : int;
+  plans_reoptimized : int;
+  plans_patched : int;
+  shortcut_aborts : int;
+  iterations : int;
+  configurations_evaluated : int;
+  transforms_generated : (string * int) list;
+  transforms_applied : (string * int) list;
+  named_counters : (string * int) list;
+  pool_trace : int list;
+  spans : span_stat list;
+}
+
+let sorted_assoc tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot (t : t) ~spans : snapshot =
+  {
+    what_if_calls = t.what_if_calls;
+    cache_hits = t.cache_hits;
+    plans_reoptimized = t.plans_reoptimized;
+    plans_patched = t.plans_patched;
+    shortcut_aborts = t.shortcut_aborts;
+    iterations = t.iterations;
+    configurations_evaluated = t.configurations_evaluated;
+    transforms_generated = sorted_assoc t.generated;
+    transforms_applied = sorted_assoc t.applied;
+    named_counters = sorted_assoc t.counters;
+    pool_trace = List.rev t.pool_trace;
+    spans = List.sort (fun a b -> String.compare a.span_name b.span_name) spans;
+  }
+
+let empty_snapshot = snapshot (create ()) ~spans:[]
+
+let merge_assoc a b =
+  List.fold_left
+    (fun acc (k, v) ->
+      match List.assoc_opt k acc with
+      | Some v0 -> (k, v0 + v) :: List.remove_assoc k acc
+      | None -> (k, v) :: acc)
+    a b
+  |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+
+let merge_spans a b =
+  List.fold_left
+    (fun acc (s : span_stat) ->
+      match List.partition (fun x -> x.span_name = s.span_name) acc with
+      | [ x ], rest ->
+        {
+          s with
+          calls = x.calls + s.calls;
+          total_s = x.total_s +. s.total_s;
+          max_depth = max x.max_depth s.max_depth;
+        }
+        :: rest
+      | _ -> s :: acc)
+    a b
+  |> List.sort (fun x y -> String.compare x.span_name y.span_name)
+
+let merge (a : snapshot) (b : snapshot) : snapshot =
+  {
+    what_if_calls = a.what_if_calls + b.what_if_calls;
+    cache_hits = a.cache_hits + b.cache_hits;
+    plans_reoptimized = a.plans_reoptimized + b.plans_reoptimized;
+    plans_patched = a.plans_patched + b.plans_patched;
+    shortcut_aborts = a.shortcut_aborts + b.shortcut_aborts;
+    iterations = a.iterations + b.iterations;
+    configurations_evaluated =
+      a.configurations_evaluated + b.configurations_evaluated;
+    transforms_generated = merge_assoc a.transforms_generated b.transforms_generated;
+    transforms_applied = merge_assoc a.transforms_applied b.transforms_applied;
+    named_counters = merge_assoc a.named_counters b.named_counters;
+    pool_trace = a.pool_trace @ b.pool_trace;
+    spans = merge_spans a.spans b.spans;
+  }
+
+let merge_all = function
+  | [] -> empty_snapshot
+  | s :: rest -> List.fold_left merge s rest
+
+let to_json (s : snapshot) : Json.t =
+  let assoc l = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) l) in
+  Obj
+    [
+      ("what_if_calls", Int s.what_if_calls);
+      ("cache_hits", Int s.cache_hits);
+      ("plans_reoptimized", Int s.plans_reoptimized);
+      ("plans_patched", Int s.plans_patched);
+      ("shortcut_aborts", Int s.shortcut_aborts);
+      ("iterations", Int s.iterations);
+      ("configurations_evaluated", Int s.configurations_evaluated);
+      ("transforms_generated", assoc s.transforms_generated);
+      ("transforms_applied", assoc s.transforms_applied);
+      ("counters", assoc s.named_counters);
+      ("pool_trace", List (List.map (fun n -> Json.Int n) s.pool_trace));
+      ( "spans",
+        List
+          (List.map
+             (fun (sp : span_stat) ->
+               Json.Obj
+                 [
+                   ("name", String sp.span_name);
+                   ("calls", Int sp.calls);
+                   ("total_s", Float sp.total_s);
+                   ("max_depth", Int sp.max_depth);
+                 ])
+             s.spans) );
+    ]
+
+let pp ppf (s : snapshot) =
+  let row name v = Fmt.pf ppf "  %-28s %10d@," name v in
+  Fmt.pf ppf "@[<v>metrics:@,";
+  row "what-if optimizer calls" s.what_if_calls;
+  row "what-if cache hits" s.cache_hits;
+  row "plans re-optimized" s.plans_reoptimized;
+  row "plans patched (kept)" s.plans_patched;
+  row "shortcut aborts" s.shortcut_aborts;
+  row "search iterations" s.iterations;
+  row "configurations evaluated" s.configurations_evaluated;
+  (match s.pool_trace with
+  | [] -> ()
+  | l ->
+    row "final pool size" (List.nth l (List.length l - 1));
+    row "peak pool size" (List.fold_left max 0 l));
+  if s.transforms_generated <> [] || s.transforms_applied <> [] then begin
+    Fmt.pf ppf "  transformations (generated / applied):@,";
+    let kinds =
+      List.sort_uniq String.compare
+        (List.map fst s.transforms_generated @ List.map fst s.transforms_applied)
+    in
+    List.iter
+      (fun k ->
+        let find l = Option.value ~default:0 (List.assoc_opt k l) in
+        Fmt.pf ppf "    %-26s %10d / %d@," k
+          (find s.transforms_generated)
+          (find s.transforms_applied))
+      kinds
+  end;
+  if s.named_counters <> [] then begin
+    Fmt.pf ppf "  counters:@,";
+    List.iter
+      (fun (k, v) -> Fmt.pf ppf "    %-26s %10d@," k v)
+      s.named_counters
+  end;
+  if s.spans <> [] then begin
+    Fmt.pf ppf "  spans (calls, total):@,";
+    List.iter
+      (fun (sp : span_stat) ->
+        Fmt.pf ppf "    %-26s %10d  %8.3fs@," sp.span_name sp.calls sp.total_s)
+      s.spans
+  end;
+  Fmt.pf ppf "@]"

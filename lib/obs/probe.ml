@@ -1,0 +1,49 @@
+(** Ambient-recorder instrumentation points (no-ops when none installed). *)
+
+let active () = Recorder.ambient () <> None
+
+let with_metrics f =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> f (Recorder.metrics r)
+
+let what_if_call ~qid =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r ->
+    let m = Recorder.metrics r in
+    m.what_if_calls <- m.what_if_calls + 1;
+    Recorder.emit r (fun () ->
+        Json.Obj [ ("event", String "whatif"); ("qid", String qid) ])
+
+let cache_hit ~qid:_ =
+  with_metrics (fun m -> m.cache_hits <- m.cache_hits + 1)
+
+let plan_reoptimized () =
+  with_metrics (fun m -> m.plans_reoptimized <- m.plans_reoptimized + 1)
+
+let plan_patched () =
+  with_metrics (fun m -> m.plans_patched <- m.plans_patched + 1)
+
+let shortcut_abort () =
+  with_metrics (fun m -> m.shortcut_aborts <- m.shortcut_aborts + 1)
+
+let iteration () = with_metrics (fun m -> m.iterations <- m.iterations + 1)
+
+let config_evaluated () =
+  with_metrics (fun m ->
+      m.configurations_evaluated <- m.configurations_evaluated + 1)
+
+let transform_generated ~kind = with_metrics (fun m -> Metrics.add_generated m ~kind)
+let transform_applied ~kind = with_metrics (fun m -> Metrics.add_applied m ~kind)
+let pool_size n = with_metrics (fun m -> Metrics.record_pool m n)
+let count_n name n = with_metrics (fun m -> Metrics.count m name n)
+let count name = count_n name 1
+
+let span name f =
+  match Recorder.ambient () with
+  | None -> f ()
+  | Some r -> Recorder.with_span r name f
+
+let emit thunk =
+  match Recorder.ambient () with None -> () | Some r -> Recorder.emit r thunk

@@ -1,0 +1,33 @@
+(** The per-tuning-run observability context: one {!Metrics.t}, an
+    optional trace sink, and a span timer.
+
+    A recorder is installed as the {e ambient} recorder for the dynamic
+    extent of a tuning run ({!with_ambient}); instrumentation points deep
+    inside the optimizer reach it through {!Probe} without any parameter
+    threading, and everything no-ops when no recorder is installed.
+
+    Timings come from the best clock available to the stdlib
+    ([Unix.gettimeofday]); span durations are clamped to be non-negative
+    so aggregates stay monotone even if the wall clock steps. *)
+
+type t
+
+val create : ?sink:Trace.sink -> unit -> t
+val metrics : t -> Metrics.t
+
+val emit : t -> (unit -> Json.t) -> unit
+(** Emit one trace event; the thunk is only forced when a sink is
+    attached. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Time [f], aggregating per-name call counts, total wall-clock and
+    maximum nesting depth.  Exception-safe. *)
+
+val span_stats : t -> Metrics.span_stat list
+val snapshot : t -> Metrics.snapshot
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install [t] as the ambient recorder for the extent of the call
+    (restoring the previous one on exit, exception-safe). *)
+
+val ambient : unit -> t option

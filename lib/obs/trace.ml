@@ -1,0 +1,34 @@
+(** JSON-lines trace sinks: file, in-memory (for tests), or custom. *)
+
+type sink = { emit_line : string -> unit; close_sink : unit -> unit }
+
+let custom ~emit ?(close = fun () -> ()) () =
+  { emit_line = emit; close_sink = close }
+
+let null = custom ~emit:(fun _ -> ()) ()
+
+let file path =
+  let oc = open_out path in
+  let closed = ref false in
+  {
+    emit_line =
+      (fun line ->
+        if not !closed then begin
+          output_string oc line;
+          output_char oc '\n'
+        end);
+    close_sink =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close_out oc
+        end);
+  }
+
+let memory () =
+  let lines = ref [] in
+  let sink = custom ~emit:(fun l -> lines := l :: !lines) () in
+  (sink, fun () -> List.rev !lines)
+
+let emit sink json = sink.emit_line (Json.to_string json)
+let close sink = sink.close_sink ()

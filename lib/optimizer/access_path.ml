@@ -413,6 +413,7 @@ let intersection_candidates env (r : Request.t) seekable : candidate list =
     tuner may already have simulated new structures (the caller re-invokes
     optimization in that case — see the tuner's instrumentation loop). *)
 let best env ?hooks ?via_view (r : Request.t) : Plan.t =
+  Relax_obs.Probe.count "access_path.requests";
   Hooks.fire_index hooks r;
   let indexes = Env.indexes_on env r.rel in
   let heap = heap_candidate env r in

@@ -524,5 +524,7 @@ let optimize_select env ?hooks (sq : Query.select_query) : Plan.t =
 
 (** Public entry point: optimize a select query under a configuration. *)
 let optimize catalog config ?hooks (sq : Query.select_query) : Plan.t =
+  Relax_obs.Probe.span "optimizer.optimize" @@ fun () ->
+  Relax_obs.Probe.count "optimizer.optimizations";
   let env = Env.make catalog config in
   optimize_select env ?hooks sq

@@ -296,3 +296,13 @@ let try_match (view : View.t) (q : Query.spjg) : result option =
       Some { view; residual_ranges; residual_others; regroup; needed_cols }
     with No_match -> None
   end
+
+(* observability shim over the matcher above: counts attempts and hits in
+   the ambient recorder (no-op outside a tuning run) *)
+let try_match view q =
+  Relax_obs.Probe.count "view_match.attempts";
+  match try_match view q with
+  | Some _ as r ->
+    Relax_obs.Probe.count "view_match.matches";
+    r
+  | None -> None

@@ -32,10 +32,15 @@ let plan_select t config ~qid (sq : Query.select_query) : Plan.t =
   match Hashtbl.find_opt t.plans k with
   | Some p ->
     t.cache_hits <- t.cache_hits + 1;
+    Relax_obs.Probe.cache_hit ~qid;
     p
   | None ->
-    let p = Optimizer.optimize t.catalog config sq in
     t.optimizer_calls <- t.optimizer_calls + 1;
+    Relax_obs.Probe.what_if_call ~qid;
+    let p =
+      Relax_obs.Probe.span "whatif.optimize" (fun () ->
+          Optimizer.optimize t.catalog config sq)
+    in
     Hashtbl.replace t.plans k p;
     p
 

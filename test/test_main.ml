@@ -6,6 +6,7 @@ let () =
       ("physical", Suite_physical.suite);
       ("optimizer", Suite_optimizer.suite);
       ("tuner", Suite_tuner.suite);
+      ("obs", Suite_obs.suite);
       ("baseline", Suite_baseline.suite);
       ("workloads", Suite_workloads.suite);
       ("costing", Suite_costing.suite);
