@@ -35,10 +35,19 @@ let tpch_cat = lazy (W.Tpch.catalog ~scale:tpch_scale ())
 let ds1 = lazy (W.Star.schema ~scale:0.02 ())
 let bench_db = lazy (W.Bench_db.schema ~scale:0.02 ())
 
+(* --jobs N (parsed below); absent = RELAX_JOBS or the domain count *)
+let jobs_flag = ref None
+
+let effective_jobs () =
+  match !jobs_flag with
+  | Some j -> j
+  | None -> Relax_parallel.Pool.default_jobs ()
+
 let ptt ?(mode = T.Tuner.Indexes_and_views) ?(budget = infinity)
     ?(iters = ptt_iterations) cat w =
   let opts = T.Tuner.default_options ~mode ~space_budget:budget () in
-  T.Tuner.tune cat w { opts with max_iterations = iters }
+  T.Tuner.tune cat w
+    { opts with max_iterations = iters; jobs = effective_jobs () }
 
 let ctt ?(views = true) ?(budget = infinity) cat w =
   B.Ctt.tune cat w (B.Ctt.default_options ~with_views:views ~space_budget:budget ())
@@ -574,6 +583,107 @@ let ablation () =
       { o with shrink_configurations = true; transforms_per_iteration = 3 })
 
 (* ------------------------------------------------------------------ *)
+(* Parallel search: jobs sweep                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Node-expansion throughput of the relaxation search at jobs=1 vs the
+   requested parallelism, on the same TPC-H tuning problem.  The tuning
+   output must be identical across the sweep (the determinism guarantee);
+   the results land in BENCH_parallel.json. *)
+let parallel_sweep () =
+  Printf.printf "\n-- parallel search: jobs sweep (TPC-H) --\n";
+  let cat = Lazy.force tpch_cat in
+  let w = W.Tpch.workload_subset [ 1; 3; 5; 6; 10; 12; 14; 15 ] in
+  let budget = db_bytes cat *. 1.4 in
+  let tune_with jobs =
+    let opts =
+      {
+        (T.Tuner.default_options ~mode:T.Tuner.Indexes_only
+           ~space_budget:budget ())
+        with
+        max_iterations = 150;
+        jobs;
+      }
+    in
+    let obs = Relax_obs.Recorder.create () in
+    let t0 = now () in
+    let r = T.Tuner.tune ~obs cat w opts in
+    let elapsed = now () -. t0 in
+    (r, elapsed, Relax_obs.Recorder.snapshot obs)
+  in
+  (* warmup: fill the catalog's derived-view memos so both timed runs see
+     the same cache state *)
+  ignore (tune_with 1);
+  let requested = max 1 (effective_jobs ()) in
+  let sweep = if requested = 1 then [ 1 ] else [ 1; requested ] in
+  let runs = List.map (fun j -> (j, tune_with j)) sweep in
+  let r1, e1, m1 = List.assoc 1 runs in
+  let fp (r : T.Tuner.result) = Config.fingerprint r.recommended in
+  let identical =
+    List.for_all
+      (fun (_, ((r, _, m) : T.Tuner.result * float * Relax_obs.Metrics.snapshot)) ->
+        fp r = fp r1
+        && r.recommended_cost = r1.recommended_cost
+        && r.frontier = r1.frontier
+        && m.what_if_calls = m1.what_if_calls
+        && m.cache_hits = m1.cache_hits
+        && m.plans_reoptimized = m1.plans_reoptimized
+        && m.plans_patched = m1.plans_patched
+        && m.shortcut_aborts = m1.shortcut_aborts
+        && m.iterations = m1.iterations
+        && m.configurations_evaluated = m1.configurations_evaluated)
+      runs
+  in
+  Printf.printf "%-6s %10s %14s %16s %10s\n" "jobs" "time" "configs eval"
+    "configs/s" "speedup";
+  List.iter
+    (fun (j, (_, e, (m : Relax_obs.Metrics.snapshot))) ->
+      Printf.printf "%-6d %9.2fs %14d %16.1f %9.2fx\n" j e
+        m.configurations_evaluated
+        (float_of_int m.configurations_evaluated /. Float.max 1e-9 e)
+        (e1 /. Float.max 1e-9 e))
+    runs;
+  Printf.printf "identical tuning output across jobs: %b\n" identical;
+  let json =
+    let open Relax_obs.Json in
+    Obj
+      [
+        ("bench", String "parallel_jobs_sweep");
+        ("workload", String "tpch q1,3,5,6,10,12,14,15");
+        ("budget_bytes", Float budget);
+        ("identical_results", Bool identical);
+        ( "runs",
+          List
+            (List.map
+               (fun (j, ((r, e, m) : T.Tuner.result * float * Relax_obs.Metrics.snapshot)) ->
+                 Obj
+                   [
+                     ("jobs", Int j);
+                     ("elapsed_s", Float e);
+                     ("configurations_evaluated", Int m.configurations_evaluated);
+                     ( "throughput_configs_per_s",
+                       Float
+                         (float_of_int m.configurations_evaluated
+                         /. Float.max 1e-9 e) );
+                     ("speedup_vs_jobs1", Float (e1 /. Float.max 1e-9 e));
+                     ("recommended_cost", Float r.recommended_cost);
+                     ("recommended_fingerprint", String (fp r));
+                     ("what_if_calls", Int m.what_if_calls);
+                     ("cache_hits", Int m.cache_hits);
+                   ])
+               runs) );
+      ]
+  in
+  (try
+     Out_channel.with_open_bin "BENCH_parallel.json" (fun oc ->
+         Out_channel.output_string oc (Relax_obs.Json.to_string json);
+         Out_channel.output_char oc '\n');
+     Printf.printf "jobs sweep written to BENCH_parallel.json\n"
+   with Sys_error msg ->
+     Printf.eprintf "cannot write BENCH_parallel.json: %s\n" msg);
+  ignore r1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -642,7 +752,8 @@ let micro () =
           | Some [ est ] -> Printf.printf "%-32s %12.1f ns/run\n" name est
           | _ -> ignore name)
         raw_results)
-    tests
+    tests;
+  parallel_sweep ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -709,12 +820,27 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
-  (* peel off --json PATH / --json=PATH and --log-level LEVEL *)
+  (* peel off --json PATH / --json=PATH, --jobs N / --jobs=N and
+     --log-level LEVEL *)
   let json_path = ref None in
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> jobs_flag := Some n
+    | Some _ | None ->
+      Printf.eprintf "--jobs expects a positive integer, got %s\n" s;
+      exit 1
+  in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--json" :: path :: rest ->
       json_path := Some path;
+      parse acc rest
+    | "--jobs" :: n :: rest ->
+      set_jobs n;
+      parse acc rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
+      ->
+      set_jobs (String.sub arg 7 (String.length arg - 7));
       parse acc rest
     | "--log-level" :: level :: rest -> (
       match parse_log_level level with

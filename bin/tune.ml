@@ -60,7 +60,7 @@ let load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
   (schema.catalog, workload)
 
 let run db scale schema_file queries file generate seed updates tool mode
-    budget_mb iterations time_s ddl do_compress explain analyze verbose
+    budget_mb iterations time_s jobs ddl do_compress explain analyze verbose
     log_level trace_file metrics frontier_csv_file =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else log_level);
@@ -99,6 +99,7 @@ let run db scale schema_file queries file generate seed updates tool mode
         (T.Tuner.default_options ~mode ~space_budget:budget ()) with
         max_iterations = iterations;
         time_budget_s = time_s;
+        jobs = Option.value jobs ~default:(Relax_parallel.Pool.default_jobs ());
       }
     in
     let open_out_checked ~what path f =
@@ -280,6 +281,17 @@ let time_s =
     & opt (some float) None
     & info [ "time" ] ~docv:"SECONDS" ~doc:"Wall-clock tuning budget (ptt).")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel search (ptt only); 1 = \
+           sequential.  Defaults to \\$(b,RELAX_JOBS) or the machine's \
+           domain count (capped at 8).  The recommendation is identical \
+           whatever the value.")
+
 let ddl =
   Arg.(
     value & flag
@@ -365,8 +377,8 @@ let cmd =
     (Cmd.info "tune" ~doc)
     Term.(
       const run $ db $ scale $ schema_file $ queries $ file $ generate
-      $ seed $ updates $ tool $ mode $ budget_mb $ iterations $ time_s $ ddl
-      $ do_compress $ explain $ analyze $ verbose $ log_level $ trace_file
-      $ metrics $ frontier_csv_file)
+      $ seed $ updates $ tool $ mode $ budget_mb $ iterations $ time_s
+      $ jobs $ ddl $ do_compress $ explain $ analyze $ verbose $ log_level
+      $ trace_file $ metrics $ frontier_csv_file)
 
 let () = exit (Cmd.eval cmd)

@@ -25,6 +25,7 @@ module Index = Relax_physical.Index
 module View = Relax_physical.View
 module O = Relax_optimizer
 module Obs = Relax_obs
+module Pool = Relax_parallel.Pool
 module String_map = Map.Make (String)
 
 let src = Logs.Src.create "relax.search" ~doc:"relaxation search"
@@ -55,6 +56,10 @@ type options = {
           evaluation (may hurt quality: an unused structure can become
           useful after other structures are relaxed away) *)
   selection : selection;
+  jobs : int;
+      (** worker domains for parallel candidate scoring and plan
+          re-optimization; 1 = fully sequential.  The result is identical
+          whatever the value. *)
 }
 
 let default_options ~space_budget =
@@ -68,6 +73,7 @@ let default_options ~space_budget =
     transforms_per_iteration = 1;
     shrink_configurations = false;
     selection = Penalty;
+    jobs = Pool.default_jobs ();
   }
 
 (** A ranked candidate transformation of one configuration. *)
@@ -128,6 +134,7 @@ type state = {
   whatif : O.Whatif.t;
   prepared : prepared;
   opts : options;
+  pool : Pool.t;  (** worker domains for scoring and re-optimization *)
   mutable nodes : node list;  (** the pool CP, newest first *)
   by_id : (int, node) Hashtbl.t;
   mutable next_id : int;
@@ -135,7 +142,9 @@ type state = {
   mutable iterations : int;
   mutable candidates_trace : int list;  (** per-iteration candidate counts *)
   seen : (string, unit) Hashtbl.t;  (** configuration fingerprints *)
+  cbv_lock : Mutex.t;  (** guards [cbv_cache] (held across the optimize) *)
   cbv_cache : (string, float) Hashtbl.t;
+  size_lock : Mutex.t;  (** guards [size_cache] *)
   size_cache : (string, float) Hashtbl.t;  (** per-structure size memo *)
   rand : Random.State.t;  (** only consulted by the [Random] selection *)
   started : float;
@@ -161,15 +170,19 @@ let used_structure_names (plans : O.Plan.t String_map.t) =
   used
 
 (* Memoized size of one index under a configuration (the owner's row count
-   pins the size; view row estimates are stored in the configuration). *)
+   pins the size; view row estimates are stored in the configuration).
+   Sizes are computed outside the lock: a racing double-compute is
+   harmless because the size is a deterministic function of the key. *)
 let index_size st config (i : Relax_physical.Index.t) =
   let rows = Config.relation_rows st.catalog config (Index.owner i) in
   let key = Index.name i ^ "@" ^ string_of_float rows in
-  match Hashtbl.find_opt st.size_cache key with
+  match
+    Mutex.protect st.size_lock (fun () -> Hashtbl.find_opt st.size_cache key)
+  with
   | Some s -> s
   | None ->
     let s = Config.index_bytes st.catalog config i in
-    Hashtbl.replace st.size_cache key s;
+    Mutex.protect st.size_lock (fun () -> Hashtbl.replace st.size_cache key s);
     s
 
 (* Heap bytes of unclustered base tables (cached once). *)
@@ -182,7 +195,10 @@ let heap_bytes st config =
       else
         let key = "heap@" ^ name in
         let h =
-          match Hashtbl.find_opt st.size_cache key with
+          match
+            Mutex.protect st.size_lock (fun () ->
+                Hashtbl.find_opt st.size_cache key)
+          with
           | Some h -> h
           | None ->
             let h =
@@ -190,7 +206,8 @@ let heap_bytes st config =
                 ~row_width:(Cat.row_width st.catalog name) ()
               *. SM.default_params.page_size
             in
-            Hashtbl.replace st.size_cache key h;
+            Mutex.protect st.size_lock (fun () ->
+                Hashtbl.replace st.size_cache key h);
             h
         in
         acc +. h)
@@ -211,9 +228,12 @@ let shell_cost_of st config =
       0.0 st.prepared.dmls
   end
 
-(* CBV: cost of computing a view from scratch under the base configuration *)
+(* CBV: cost of computing a view from scratch under the base configuration.
+   The lock is held across the optimize so concurrent callers never
+   duplicate it (and never double-count its probes); misses are rare. *)
 let cbv st (v : View.t) =
   let name = View.name v in
+  Mutex.protect st.cbv_lock @@ fun () ->
   match Hashtbl.find_opt st.cbv_cache name with
   | Some c -> c
   | None ->
@@ -250,11 +270,33 @@ let bound_context ?old_env st ~old_config ~new_config (tr : Transform.t) :
     cbv = cbv st;
   }
 
+(* Fixed width of one parallel (re-)optimization batch.  Deliberately
+   independent of [opts.jobs]: the §3.5 abort can only land on a batch
+   boundary's sequential fold, so the set of what-if calls made — and with
+   it every counter, cache state and trace event — is identical whatever
+   the parallelism (the determinism guarantee).  It also bounds the work
+   wasted past an abort to one batch. *)
+let eval_batch = 16
+
+let rec take_batch k l =
+  if k = 0 then ([], l)
+  else
+    match l with
+    | [] -> ([], [])
+    | x :: tl ->
+      let b, rest = take_batch (k - 1) tl in
+      (x :: b, rest)
+
 (** Evaluate a fresh configuration obtained by relaxing [parent] with [tr]:
     re-optimize only the plans the relaxation affected; optionally abort as
-    soon as the running total exceeds the best known cost (§3.5). *)
+    soon as the running total exceeds the best known cost (§3.5).  Plans
+    are (re-)optimized in fixed-width batches on the worker domains, then
+    folded sequentially in workload order, so the float accumulation and
+    the abort point do not depend on [opts.jobs]. *)
 let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
     node option =
+  (* the context's [Env.make] runs before any parallel work: it may
+     register derived-view statistics in the shared catalog *)
   let ctx = bound_context st ~old_config:parent.config ~new_config:config tr in
   let best_cost =
     match st.best with Some b -> b.cost | None -> infinity
@@ -264,26 +306,34 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
   let exception Shortcut in
   try
     let total = ref shell in
-    let plans =
-      List.fold_left
-        (fun acc (qid, w, q) ->
-          let old_plan = String_map.find qid parent.plans in
-          let plan =
-            if Cost_bound.plan_affected ctx old_plan then begin
-              Obs.Probe.plan_reoptimized ();
-              O.Whatif.plan_select st.whatif config ~qid q
-            end
-            else begin
-              Obs.Probe.plan_patched ();
-              old_plan
-            end
-          in
-          total := !total +. (w *. plan.O.Plan.cost);
-          if st.opts.shortcut_evaluation && !total > best_cost *. 3.0 then
-            raise Shortcut;
-          String_map.add qid plan acc)
-        String_map.empty st.prepared.selects
+    let plans = ref String_map.empty in
+    let rec go selects =
+      match selects with
+      | [] -> ()
+      | _ ->
+        let batch, rest = take_batch eval_batch selects in
+        let scored =
+          Pool.map st.pool
+            (fun (qid, w, q) ->
+              let old_plan = String_map.find qid parent.plans in
+              if Cost_bound.plan_affected ctx old_plan then
+                (qid, w, true, O.Whatif.plan_select st.whatif config ~qid q)
+              else (qid, w, false, old_plan))
+            batch
+        in
+        List.iter
+          (fun (qid, w, reoptimized, (plan : O.Plan.t)) ->
+            if reoptimized then Obs.Probe.plan_reoptimized ()
+            else Obs.Probe.plan_patched ();
+            total := !total +. (w *. plan.cost);
+            if st.opts.shortcut_evaluation && !total > best_cost *. 3.0 then
+              raise Shortcut;
+            plans := String_map.add qid plan !plans)
+          scored;
+        go rest
     in
+    go st.prepared.selects;
+    let plans = !plans in
     let select_cost = !total -. shell in
     (* §3.5 shrinking variant: drop structures no surviving plan uses *)
     let config =
@@ -345,6 +395,45 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
 (* candidate ranking (§3.4, §3.6)                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* §3.6 skyline: drop transformations dominated by another with cost
+   increase ≤ and space saving ≥ (strict in at least one).  One sweep over
+   the candidates sorted by decreasing ΔS: [best] is the least ΔT among
+   candidates with strictly larger ΔS (any of them dominates a candidate
+   costing at least as much), [gmin] the least ΔT within the equal-ΔS
+   group (it dominates only strictly costlier group members).  O(n log n)
+   against the former pairwise scan, with the same survivors; the output
+   keeps the input order. *)
+let skyline_filter (raw : candidate list) : candidate list =
+  match raw with
+  | [] | [ _ ] -> raw
+  | _ ->
+    let arr = Array.of_list raw in
+    let m = Array.length arr in
+    let order = Array.init m Fun.id in
+    Array.sort
+      (fun i j -> Float.compare arr.(j).delta_space arr.(i).delta_space)
+      order;
+    let keep = Array.make m true in
+    let best = ref infinity in
+    let i = ref 0 in
+    while !i < m do
+      (* the group [!i, !j) of candidates with this ΔS *)
+      let ds = arr.(order.(!i)).delta_space in
+      let j = ref !i in
+      let gmin = ref infinity in
+      while !j < m && arr.(order.(!j)).delta_space = ds do
+        gmin := Float.min !gmin arr.(order.(!j)).delta_cost;
+        incr j
+      done;
+      for k = !i to !j - 1 do
+        let dc = arr.(order.(k)).delta_cost in
+        if dc >= !best || dc > !gmin then keep.(order.(k)) <- false
+      done;
+      best := Float.min !best !gmin;
+      i := !j
+    done;
+    List.filteri (fun idx _ -> keep.(idx)) raw
+
 let rank_candidates st (n : node) : candidate list =
   let transforms = Transform.enumerate ~protected:st.opts.protected n.config in
   List.iter
@@ -354,9 +443,13 @@ let rank_candidates st (n : node) : candidate list =
   (* index which queries use which structures, so each transformation only
      touches the plans it actually affects *)
   let usage : (string, (string * float) list) Hashtbl.t = Hashtbl.create 64 in
+  let usage_seen : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
   let add_usage name qid w =
-    let l = Option.value ~default:[] (Hashtbl.find_opt usage name) in
-    if not (List.mem_assoc qid l) then Hashtbl.replace usage name ((qid, w) :: l)
+    if not (Hashtbl.mem usage_seen (name, qid)) then begin
+      Hashtbl.add usage_seen (name, qid) ();
+      let l = Option.value ~default:[] (Hashtbl.find_opt usage name) in
+      Hashtbl.replace usage name ((qid, w) :: l)
+    end
   in
   List.iter
     (fun (qid, w, _) ->
@@ -379,71 +472,77 @@ let rank_candidates st (n : node) : candidate list =
          (fun name -> Option.value ~default:[] (Hashtbl.find_opt usage name))
          names)
   in
-  let raw =
+  (* Phase 1, sequential: apply each transformation and build its costing
+     context.  [Env.make] may register derived-view statistics in the
+     shared catalog, so every environment the workers will read is created
+     here, before the parallel phase. *)
+  let applied =
     List.filter_map
       (fun tr ->
-        match Transform.apply ~estimate_rows:(estimate_view_rows st) n.config tr with
+        match
+          Transform.apply ~estimate_rows:(estimate_view_rows st) n.config tr
+        with
         | None -> None
         | Some config' ->
-          (* incremental size: only the structures that changed are
-             re-measured; heaps are cheap cached lookups *)
-          let removed =
-            Index.Set.diff (Config.index_set n.config) (Config.index_set config')
-          in
-          let added =
-            Index.Set.diff (Config.index_set config') (Config.index_set n.config)
-          in
-          let size' =
-            n.size -. heap_bytes st n.config +. heap_bytes st config'
-            -. Index.Set.fold (fun i a -> a +. index_size st n.config i) removed 0.0
-            +. Index.Set.fold (fun i a -> a +. index_size st config' i) added 0.0
-          in
-          let delta_space = n.size -. size' in
           let affected = affected_queries tr in
-          let delta_selects =
-            if affected = [] then 0.0
-            else begin
-              let ctx =
-                bound_context ~old_env st ~old_config:n.config
-                  ~new_config:config' tr
-              in
-              List.fold_left
-                (fun acc (qid, w) ->
-                  let plan = String_map.find qid n.plans in
-                  if Cost_bound.plan_affected ctx plan then
-                    acc
-                    +. (w *. (Cost_bound.query_bound ctx plan -. plan.O.Plan.cost))
-                  else acc)
-                0.0 affected
-            end
+          let ctx =
+            if affected = [] then None
+            else
+              Some
+                (bound_context ~old_env st ~old_config:n.config
+                   ~new_config:config' tr)
           in
-          let delta_shell =
-            if st.prepared.dmls = [] then 0.0
-            else shell_cost_of st config' -. n.shell_cost
-          in
-          let delta_cost = delta_selects +. delta_shell in
-          if delta_space <= 0.0 && delta_cost >= 0.0 then None
-          else Some { tr; penalty = 0.0; delta_cost; delta_space })
+          (match ctx with
+          | None when st.prepared.dmls <> [] ->
+            (* the parallel shell costing below needs this environment *)
+            ignore (O.Env.make st.catalog config')
+          | _ -> ());
+          Some (tr, config', affected, ctx))
       transforms
   in
+  (* Phase 2, parallel: score each applied transformation — incremental
+     size (only the structures that changed are re-measured; heaps are
+     cheap cached lookups), §3.3.2 cost upper bound, update-shell delta.
+     Everything here reads shared state through locks ([size_cache],
+     [cbv_cache], the catalog memos pre-filled in phase 1). *)
+  let score (tr, config', affected, ctx) =
+    let removed =
+      Index.Set.diff (Config.index_set n.config) (Config.index_set config')
+    in
+    let added =
+      Index.Set.diff (Config.index_set config') (Config.index_set n.config)
+    in
+    let size' =
+      n.size -. heap_bytes st n.config +. heap_bytes st config'
+      -. Index.Set.fold (fun i a -> a +. index_size st n.config i) removed 0.0
+      +. Index.Set.fold (fun i a -> a +. index_size st config' i) added 0.0
+    in
+    let delta_space = n.size -. size' in
+    let delta_selects =
+      match ctx with
+      | None -> 0.0
+      | Some ctx ->
+        List.fold_left
+          (fun acc (qid, w) ->
+            let plan = String_map.find qid n.plans in
+            if Cost_bound.plan_affected ctx plan then
+              acc +. (w *. (Cost_bound.query_bound ctx plan -. plan.O.Plan.cost))
+            else acc)
+          0.0 affected
+    in
+    let delta_shell =
+      if st.prepared.dmls = [] then 0.0
+      else shell_cost_of st config' -. n.shell_cost
+    in
+    let delta_cost = delta_selects +. delta_shell in
+    if delta_space <= 0.0 && delta_cost >= 0.0 then None
+    else Some { tr; penalty = 0.0; delta_cost; delta_space }
+  in
+  let raw = List.filter_map Fun.id (Pool.map st.pool score applied) in
   (* skyline filtering for update workloads: drop dominated transformations
      (§3.6: a transformation with lower cost increase AND larger space
      saving dominates) *)
-  let raw =
-    if not st.prepared.has_updates then raw
-    else
-      List.filter
-        (fun c ->
-          not
-            (List.exists
-               (fun c' ->
-                 c' != c
-                 && c'.delta_cost <= c.delta_cost
-                 && c'.delta_space >= c.delta_space
-                 && (c'.delta_cost < c.delta_cost || c'.delta_space > c.delta_space))
-               raw))
-        raw
-  in
+  let raw = if not st.prepared.has_updates then raw else skyline_filter raw in
   let over_budget = n.size -. st.opts.space_budget in
   let with_penalty =
     List.map
@@ -659,12 +758,28 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
   @@ fun () ->
   let whatif = O.Whatif.create catalog in
   let prepared = prepare workload in
+  let pool = Pool.create ~jobs:opts.jobs in
+  Fun.protect
+    ~finally:(fun () ->
+      let pst = Pool.stats pool in
+      Obs.Probe.count_n "pool.jobs" pst.Pool.pool_jobs;
+      Obs.Probe.count_n "pool.tasks" pst.Pool.tasks;
+      Obs.Probe.count_n "pool.batches" pst.Pool.batches;
+      Array.iteri
+        (fun i busy ->
+          Obs.Probe.count_n
+            (Printf.sprintf "pool.domain%d.busy_ms" i)
+            (int_of_float (busy *. 1000.0)))
+        pst.Pool.busy_s;
+      Pool.shutdown pool)
+  @@ fun () ->
   let st =
     {
       catalog;
       whatif;
       prepared;
       opts;
+      pool;
       nodes = [];
       by_id = Hashtbl.create 64;
       next_id = 0;
@@ -672,7 +787,9 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       iterations = 0;
       candidates_trace = [];
       seen = Hashtbl.create 64;
+      cbv_lock = Mutex.create ();
       cbv_cache = Hashtbl.create 16;
+      size_lock = Mutex.create ();
       size_cache = Hashtbl.create 256;
       rand =
         Random.State.make
@@ -680,14 +797,36 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       started = Unix.gettimeofday ();
     }
   in
-  (* evaluate the initial configuration from scratch *)
+  (* register the derived-view statistics of the two configurations the
+     workers will cost before any parallel region ([Env.make] mutates the
+     shared catalog memo on first sight of a view) *)
+  ignore (O.Env.make catalog opts.protected);
+  ignore (O.Env.make catalog initial);
+  (* evaluate the initial configuration from scratch, in batches on the
+     worker domains, folding costs sequentially in workload order *)
   let shell = shell_cost_of st initial in
   let plans, select_cost =
-    List.fold_left
-      (fun (acc, total) (qid, w, q) ->
-        let plan = O.Whatif.plan_select whatif initial ~qid q in
-        (String_map.add qid plan acc, total +. (w *. plan.O.Plan.cost)))
-      (String_map.empty, 0.0) prepared.selects
+    let acc = ref String_map.empty in
+    let total = ref 0.0 in
+    let rec go = function
+      | [] -> ()
+      | selects ->
+        let batch, rest = take_batch eval_batch selects in
+        let scored =
+          Pool.map pool
+            (fun (qid, w, q) ->
+              (qid, w, O.Whatif.plan_select whatif initial ~qid q))
+            batch
+        in
+        List.iter
+          (fun (qid, w, (plan : O.Plan.t)) ->
+            acc := String_map.add qid plan !acc;
+            total := !total +. (w *. plan.cost))
+          scored;
+        go rest
+    in
+    go prepared.selects;
+    (!acc, !total)
   in
   let root =
     {

@@ -33,9 +33,16 @@ type options = {
   transforms_per_iteration : int;  (** §3.5 variant; paper default 1 *)
   shrink_configurations : bool;  (** §3.5 variant; default off *)
   selection : selection;
+  jobs : int;
+      (** worker domains for parallel candidate scoring and plan
+          re-optimization; 1 = fully sequential.  The recommended
+          configuration, costs, frontier and trace event counts are
+          identical whatever the value. *)
 }
 
 val default_options : space_budget:float -> options
+(** [jobs] defaults to {!Relax_parallel.Pool.default_jobs} ([RELAX_JOBS]
+    or the machine's domain count, capped at 8). *)
 
 type candidate = {
   tr : Transform.t;
@@ -70,6 +77,11 @@ type prepared = {
 }
 
 val prepare : Query.workload -> prepared
+
+val skyline_filter : candidate list -> candidate list
+(** §3.6 dominance filter: drop candidates dominated by another with
+    [delta_cost] ≤ and [delta_space] ≥ (strict in at least one), keeping
+    the input order.  A sort-and-sweep, O(n log n).  Exposed for tests. *)
 
 type outcome = {
   initial : node;  (** the optimal configuration's node *)

@@ -28,6 +28,9 @@ type options = {
   shrink_configurations : bool;  (** §3.5 variant; default off *)
   selection : Search.selection;
       (** transformation-choice strategy; {!Search.Penalty} is the paper's *)
+  jobs : int;
+      (** worker domains for the parallel search; 1 = sequential.  The
+          recommendation is identical whatever the value. *)
 }
 
 let default_options ?(mode = Indexes_and_views) ~space_budget () =
@@ -40,6 +43,7 @@ let default_options ?(mode = Indexes_and_views) ~space_budget () =
     transforms_per_iteration = 1;
     shrink_configurations = false;
     selection = Search.Penalty;
+    jobs = Relax_parallel.Pool.default_jobs ();
   }
 
 type result = {
@@ -102,6 +106,7 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
       transforms_per_iteration = options.transforms_per_iteration;
       shrink_configurations = options.shrink_configurations;
       selection = options.selection;
+      jobs = options.jobs;
     }
   in
   let outcome =

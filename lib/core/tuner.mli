@@ -17,9 +17,15 @@ type options = {
   transforms_per_iteration : int;  (** §3.5 variant; paper default 1 *)
   shrink_configurations : bool;  (** §3.5 variant; default off *)
   selection : Search.selection;  (** {!Search.Penalty} is the paper's *)
+  jobs : int;
+      (** worker domains for the parallel search; 1 = sequential.  The
+          recommendation, costs, frontier and trace event counts are
+          identical whatever the value. *)
 }
 
 val default_options : ?mode:mode -> space_budget:float -> unit -> options
+(** [jobs] defaults to {!Relax_parallel.Pool.default_jobs} ([RELAX_JOBS]
+    or the machine's domain count, capped at 8). *)
 
 type result = {
   workload : Query.workload;

@@ -1,6 +1,12 @@
-(** Structured tuning metrics: a mutable accumulator and its snapshots. *)
+(** Structured tuning metrics: a mutable accumulator and its snapshots.
+
+    Probes fire from worker domains during parallel candidate scoring and
+    plan re-optimization, so every mutation and {!snapshot} goes through
+    the accumulator's own [lock] (see {!locked}); snapshots are therefore
+    always internally consistent. *)
 
 type t = {
+  lock : Mutex.t;  (** guards every field; see {!locked} *)
   mutable what_if_calls : int;
   mutable cache_hits : int;
   mutable plans_reoptimized : int;
@@ -16,6 +22,7 @@ type t = {
 
 let create () =
   {
+    lock = Mutex.create ();
     what_if_calls = 0;
     cache_hits = 0;
     plans_reoptimized = 0;
@@ -29,13 +36,15 @@ let create () =
     pool_trace = [];
   }
 
+let locked t f = Mutex.protect t.lock f
+
 let bump tbl key n =
   Hashtbl.replace tbl key (Option.value ~default:0 (Hashtbl.find_opt tbl key) + n)
 
-let add_generated t ~kind = bump t.generated kind 1
-let add_applied t ~kind = bump t.applied kind 1
-let count t name n = bump t.counters name n
-let record_pool t n = t.pool_trace <- n :: t.pool_trace
+let add_generated t ~kind = locked t (fun () -> bump t.generated kind 1)
+let add_applied t ~kind = locked t (fun () -> bump t.applied kind 1)
+let count t name n = locked t (fun () -> bump t.counters name n)
+let record_pool t n = locked t (fun () -> t.pool_trace <- n :: t.pool_trace)
 
 type span_stat = {
   span_name : string;
@@ -64,6 +73,7 @@ let sorted_assoc tbl =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot (t : t) ~spans : snapshot =
+  locked t @@ fun () ->
   {
     what_if_calls = t.what_if_calls;
     cache_hits = t.cache_hits;

@@ -9,6 +9,10 @@
     view-match attempts, ...). *)
 
 type t = {
+  lock : Mutex.t;
+      (** guards every field: probes fire from worker domains during
+          parallel scoring and re-optimization.  Mutate only through the
+          update functions below or inside {!locked}. *)
   mutable what_if_calls : int;
       (** what-if optimizations actually executed (cache misses) *)
   mutable cache_hits : int;  (** what-if calls answered from the plan cache *)
@@ -31,6 +35,12 @@ type t = {
 }
 
 val create : unit -> t
+
+val locked : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the accumulator's lock; every direct field mutation
+    must happen inside (do not nest with the update functions below,
+    which take the lock themselves). *)
+
 val add_generated : t -> kind:string -> unit
 val add_applied : t -> kind:string -> unit
 val count : t -> string -> int -> unit

@@ -1,18 +1,24 @@
-(** Ambient-recorder instrumentation points (no-ops when none installed). *)
+(** Ambient-recorder instrumentation points (no-ops when none installed).
+
+    Probes may fire from worker domains (parallel candidate scoring and
+    plan re-optimization), so every metrics mutation goes through the
+    accumulator's lock. *)
 
 let active () = Recorder.ambient () <> None
 
 let with_metrics f =
   match Recorder.ambient () with
   | None -> ()
-  | Some r -> f (Recorder.metrics r)
+  | Some r ->
+    let m = Recorder.metrics r in
+    Metrics.locked m (fun () -> f m)
 
 let what_if_call ~qid =
   match Recorder.ambient () with
   | None -> ()
   | Some r ->
     let m = Recorder.metrics r in
-    m.what_if_calls <- m.what_if_calls + 1;
+    Metrics.locked m (fun () -> m.what_if_calls <- m.what_if_calls + 1);
     Recorder.emit r (fun () ->
         Json.Obj [ ("event", String "whatif"); ("qid", String qid) ])
 
@@ -34,10 +40,27 @@ let config_evaluated () =
   with_metrics (fun m ->
       m.configurations_evaluated <- m.configurations_evaluated + 1)
 
-let transform_generated ~kind = with_metrics (fun m -> Metrics.add_generated m ~kind)
-let transform_applied ~kind = with_metrics (fun m -> Metrics.add_applied m ~kind)
-let pool_size n = with_metrics (fun m -> Metrics.record_pool m n)
-let count_n name n = with_metrics (fun m -> Metrics.count m name n)
+(* these take the metrics lock themselves *)
+let transform_generated ~kind =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> Metrics.add_generated (Recorder.metrics r) ~kind
+
+let transform_applied ~kind =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> Metrics.add_applied (Recorder.metrics r) ~kind
+
+let pool_size n =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> Metrics.record_pool (Recorder.metrics r) n
+
+let count_n name n =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> Metrics.count (Recorder.metrics r) name n
+
 let count name = count_n name 1
 
 let span name f =

@@ -1,4 +1,11 @@
-(** The per-run observability context and its ambient installation. *)
+(** The per-run observability context and its ambient installation.
+
+    Worker domains report into the same recorder as the main search loop
+    (spans around what-if optimizations, trace events for executed
+    what-if calls), so span bookkeeping and sink emission are each
+    guarded by a small mutex; the ambient slot is an [Atomic.t] so a
+    recorder installed before a parallel region is visible to the worker
+    domains it spawns. *)
 
 let now = Unix.gettimeofday
 
@@ -11,59 +18,77 @@ type sstat = {
 type t = {
   metrics : Metrics.t;
   sink : Trace.sink option;
+  emit_lock : Mutex.t;  (** serializes trace-line emission *)
+  span_lock : Mutex.t;  (** guards [spans] and [depth] *)
   spans : (string, sstat) Hashtbl.t;
   mutable depth : int;
 }
 
 let create ?sink () =
-  { metrics = Metrics.create (); sink; spans = Hashtbl.create 16; depth = 0 }
+  {
+    metrics = Metrics.create ();
+    sink;
+    emit_lock = Mutex.create ();
+    span_lock = Mutex.create ();
+    spans = Hashtbl.create 16;
+    depth = 0;
+  }
 
 let metrics t = t.metrics
 
 let emit t thunk =
-  match t.sink with Some s -> Trace.emit s (thunk ()) | None -> ()
+  match t.sink with
+  | Some s ->
+    let json = thunk () in
+    Mutex.protect t.emit_lock (fun () -> Trace.emit s json)
+  | None -> ()
 
 let with_span t name f =
   let t0 = now () in
-  t.depth <- t.depth + 1;
-  let depth = t.depth in
+  let depth =
+    Mutex.protect t.span_lock (fun () ->
+        t.depth <- t.depth + 1;
+        t.depth)
+  in
   Fun.protect
     ~finally:(fun () ->
-      t.depth <- t.depth - 1;
       let dt = Float.max 0.0 (now () -. t0) in
-      let st =
-        match Hashtbl.find_opt t.spans name with
-        | Some st -> st
-        | None ->
-          let st = { calls = 0; total_s = 0.0; max_depth = 0 } in
-          Hashtbl.add t.spans name st;
-          st
-      in
-      st.calls <- st.calls + 1;
-      st.total_s <- st.total_s +. dt;
-      st.max_depth <- max st.max_depth depth)
+      Mutex.protect t.span_lock (fun () ->
+          t.depth <- t.depth - 1;
+          let st =
+            match Hashtbl.find_opt t.spans name with
+            | Some st -> st
+            | None ->
+              let st = { calls = 0; total_s = 0.0; max_depth = 0 } in
+              Hashtbl.add t.spans name st;
+              st
+          in
+          st.calls <- st.calls + 1;
+          st.total_s <- st.total_s +. dt;
+          st.max_depth <- max st.max_depth depth))
     f
 
 let span_stats t : Metrics.span_stat list =
-  Hashtbl.fold
-    (fun name (st : sstat) acc ->
-      {
-        Metrics.span_name = name;
-        calls = st.calls;
-        total_s = st.total_s;
-        max_depth = st.max_depth;
-      }
-      :: acc)
-    t.spans []
+  Mutex.protect t.span_lock (fun () ->
+      Hashtbl.fold
+        (fun name (st : sstat) acc ->
+          {
+            Metrics.span_name = name;
+            calls = st.calls;
+            total_s = st.total_s;
+            max_depth = st.max_depth;
+          }
+          :: acc)
+        t.spans [])
   |> List.sort (fun (a : Metrics.span_stat) b ->
          String.compare a.span_name b.span_name)
 
 let snapshot t = Metrics.snapshot t.metrics ~spans:(span_stats t)
 
-let current : t option ref = ref None
-let ambient () = !current
+let current : t option Atomic.t = Atomic.make None
+let ambient () = Atomic.get current
 
 let with_ambient t f =
-  let old = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := old) f
+  let old = Atomic.get current in
+  Atomic.set current (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set current old) f

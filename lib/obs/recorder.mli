@@ -8,7 +8,12 @@
 
     Timings come from the best clock available to the stdlib
     ([Unix.gettimeofday]); span durations are clamped to be non-negative
-    so aggregates stay monotone even if the wall clock steps. *)
+    so aggregates stay monotone even if the wall clock steps.
+
+    A recorder is safe to share across domains: spans, trace emission and
+    the metrics accumulator are each internally locked, and the ambient
+    slot is atomic, so probes firing from the parallel search's worker
+    domains aggregate into the same recorder as the main loop. *)
 
 type t
 

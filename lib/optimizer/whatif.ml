@@ -6,42 +6,74 @@
     configurations that agree there share one optimization call.  This is
     the mechanism behind the paper's observation that a relaxed
     configuration only requires re-optimizing the queries that used the
-    replaced structures. *)
+    replaced structures.
+
+    The plan cache is sharded by key hash with a mutex per shard, and the
+    call/hit counters are atomic, so worker domains can cost plans
+    concurrently during the parallel relaxation.  An optimization runs
+    outside any shard lock (it can take milliseconds); if two domains ever
+    race on the same key they both optimize and one result wins, which is
+    harmless because plans are deterministic functions of the key. *)
 
 module Query = Relax_sql.Query
 module Config = Relax_physical.Config
 module Catalog = Relax_catalog.Catalog
 
-type t = {
-  catalog : Catalog.t;
+type shard = {
+  shard_lock : Mutex.t;
   plans : (string, Plan.t) Hashtbl.t;
-  mutable optimizer_calls : int;  (** optimization calls actually executed *)
-  mutable cache_hits : int;
 }
 
-let create catalog = { catalog; plans = Hashtbl.create 256; optimizer_calls = 0; cache_hits = 0 }
+type t = {
+  catalog : Catalog.t;
+  shards : shard array;
+  optimizer_calls : int Atomic.t;  (** optimization calls actually executed *)
+  cache_hits : int Atomic.t;
+}
 
-let stats t = (t.optimizer_calls, t.cache_hits)
+let shard_bits = 4
+let shard_count = 1 lsl shard_bits
+
+let create catalog =
+  {
+    catalog;
+    shards =
+      Array.init shard_count (fun _ ->
+          { shard_lock = Mutex.create (); plans = Hashtbl.create 32 });
+    optimizer_calls = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+  }
+
+let stats t = (Atomic.get t.optimizer_calls, Atomic.get t.cache_hits)
+
+let cached_plans t =
+  Array.fold_left
+    (fun acc sh ->
+      acc + Mutex.protect sh.shard_lock (fun () -> Hashtbl.length sh.plans))
+    0 t.shards
 
 let key config ~qid ~tables =
   qid ^ "#" ^ Config.fingerprint_for_tables config tables
 
+let shard_of t k = t.shards.(Hashtbl.hash k land (shard_count - 1))
+
 (** Optimized plan for a select query under [config] (memoized). *)
 let plan_select t config ~qid (sq : Query.select_query) : Plan.t =
   let k = key config ~qid ~tables:sq.body.tables in
-  match Hashtbl.find_opt t.plans k with
+  let sh = shard_of t k in
+  match Mutex.protect sh.shard_lock (fun () -> Hashtbl.find_opt sh.plans k) with
   | Some p ->
-    t.cache_hits <- t.cache_hits + 1;
+    Atomic.incr t.cache_hits;
     Relax_obs.Probe.cache_hit ~qid;
     p
   | None ->
-    t.optimizer_calls <- t.optimizer_calls + 1;
+    Atomic.incr t.optimizer_calls;
     Relax_obs.Probe.what_if_call ~qid;
     let p =
       Relax_obs.Probe.span "whatif.optimize" (fun () ->
           Optimizer.optimize t.catalog config sq)
     in
-    Hashtbl.replace t.plans k p;
+    Mutex.protect sh.shard_lock (fun () -> Hashtbl.replace sh.plans k p);
     p
 
 (** Cost of one workload entry under [config]: plan cost for selects;

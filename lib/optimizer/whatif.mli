@@ -5,7 +5,11 @@
     tables ({!Relax_physical.Config.fingerprint_for_tables}), so
     configurations agreeing there share one optimization call — the
     mechanism behind the paper's "only re-optimize queries that used a
-    replaced structure". *)
+    replaced structure".
+
+    Domain-safe: the plan cache is sharded by key hash with per-shard
+    mutexes and the counters are atomic, so {!plan_select} may be called
+    concurrently from the parallel search's worker domains. *)
 
 type t
 
@@ -13,6 +17,9 @@ val create : Relax_catalog.Catalog.t -> t
 
 val stats : t -> int * int
 (** (optimizer calls actually executed, cache hits). *)
+
+val cached_plans : t -> int
+(** Number of distinct plans currently memoized, across all shards. *)
 
 val plan_select :
   t -> Relax_physical.Config.t -> qid:string -> Relax_sql.Query.select_query ->

@@ -1,0 +1,159 @@
+(** Fixed worker domains over a task queue; see the interface for the
+    contract.  The implementation is deliberately dependency-free: one
+    mutex, two condition variables, a [Queue.t] of closures.
+
+    A [map] call packs each list element into a closure writing its slot
+    of a results array, enqueues them all, and blocks until a shared
+    countdown reaches zero.  Writes of the result slots happen-before the
+    caller's reads because both sides go through [lock] (the worker
+    decrements the countdown under it, the caller observes zero under
+    it), so no further synchronization per slot is needed. *)
+
+type t = {
+  pool_jobs : int;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable shutting_down : bool;
+  mutable domains : unit Domain.t array;
+  (* lifetime counters, mutated under [lock] (or by the sole caller when
+     running sequentially) *)
+  mutable n_tasks : int;
+  mutable n_batches : int;
+  busy : float array;
+}
+
+type stats = {
+  pool_jobs : int;
+  tasks : int;
+  batches : int;
+  busy_s : float array;
+}
+
+let default_jobs () =
+  let hw = Int.min 8 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "RELAX_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> hw)
+  | None -> hw
+
+let worker t i () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.shutting_down do
+      Condition.wait t.work_available t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* shutting down and drained *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      let t0 = Unix.gettimeofday () in
+      task ();
+      let dt = Unix.gettimeofday () -. t0 in
+      Mutex.lock t.lock;
+      t.busy.(i) <- t.busy.(i) +. dt;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      pool_jobs = jobs;
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      work_done = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      domains = [||];
+      n_tasks = 0;
+      n_batches = 0;
+      busy = Array.make (max 1 jobs) 0.0;
+    }
+  in
+  if jobs > 1 then
+    t.domains <- Array.init jobs (fun i -> Domain.spawn (worker t i));
+  t
+
+let jobs (t : t) = t.pool_jobs
+
+let stats t : stats =
+  Mutex.lock t.lock;
+  let s =
+    {
+      pool_jobs = t.pool_jobs;
+      tasks = t.n_tasks;
+      batches = t.n_batches;
+      busy_s = Array.copy t.busy;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+(* Re-raise the smallest-index exception so failures are deterministic
+   whatever the scheduling. *)
+let reraise_first (errors : exn option array) =
+  Array.iter (function Some e -> raise e | None -> ()) errors
+
+let sequential_map t f l =
+  t.n_batches <- t.n_batches + 1;
+  t.n_tasks <- t.n_tasks + List.length l;
+  List.map f l
+
+let map (type a b) t (f : a -> b) (l : a list) : b list =
+  match l with
+  | [] -> []
+  | [ x ] ->
+    t.n_tasks <- t.n_tasks + 1;
+    [ f x ]
+  | l when Array.length t.domains = 0 -> sequential_map t f l
+  | l ->
+    let arr = Array.of_list l in
+    let n = Array.length arr in
+    let results : b option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let remaining = ref n in
+    let task i () =
+      (try results.(i) <- Some (f arr.(i))
+       with e -> errors.(i) <- Some e);
+      Mutex.lock t.lock;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.lock
+    in
+    Mutex.lock t.lock;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    t.n_tasks <- t.n_tasks + n;
+    t.n_batches <- t.n_batches + 1;
+    Condition.broadcast t.work_available;
+    while !remaining > 0 do
+      Condition.wait t.work_done t.lock
+    done;
+    Mutex.unlock t.lock;
+    reraise_first errors;
+    List.init n (fun i ->
+        match results.(i) with
+        | Some r -> r
+        | None -> assert false (* no exception and no result is impossible *))
+
+let shutdown t =
+  if Array.length t.domains > 0 then begin
+    Mutex.lock t.lock;
+    t.shutting_down <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end

@@ -1,0 +1,48 @@
+(** A fixed pool of worker domains over a shared task queue.
+
+    The search uses it for the two hot loops of the relaxation: scoring
+    candidate transformations and re-optimizing the plans a relaxation
+    affected.  Both are independent per-item computations, so the only
+    contract that matters is {!map}'s: results come back in input order
+    and an exception raised by [f] is re-raised in the caller (the one
+    with the smallest input index, for determinism).  Parallelism is a
+    pure speedup, never a behaviour change: at [jobs = 1] no domains are
+    spawned and [map] degenerates to [List.map]. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs] worker domains ([jobs <= 1] spawns none: every [map]
+    then runs sequentially in the caller).  The pool is fixed-size; call
+    {!shutdown} when done. *)
+
+val jobs : t -> int
+(** The parallelism degree the pool was created with (at least 1). *)
+
+val default_jobs : unit -> int
+(** The [RELAX_JOBS] environment variable when set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()] capped at 8
+    (one search never needs more domains than that; deeper fan-out only
+    adds scheduling noise). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: [map t f l] equals [List.map f l] for
+    pure [f], whatever the parallelism.  Tasks run on the worker domains
+    while the caller blocks; when several tasks raise, the exception of
+    the smallest list index is re-raised after the whole batch has
+    drained (so the pool is reusable afterwards).  Only the domain that
+    created the pool may call [map]; worker tasks must not. *)
+
+(** Lifetime counters, for {!Relax_obs.Metrics} named counters. *)
+type stats = {
+  pool_jobs : int;
+  tasks : int;  (** tasks executed across all [map] calls *)
+  batches : int;  (** [map] calls that dispatched to workers *)
+  busy_s : float array;  (** per-worker-domain busy seconds *)
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Drain and join the worker domains.  Idempotent; [map] after
+    [shutdown] runs sequentially. *)
