@@ -43,11 +43,40 @@ let effective_jobs () =
   | Some j -> j
   | None -> Relax_parallel.Pool.default_jobs ()
 
+(* --validate: attach the differential invariant checker to every PTT run;
+   any violation anywhere makes the whole harness exit non-zero *)
+let validate_flag = ref false
+let check_iterations = ref 0
+let check_violations = ref 0
+
 let ptt ?(mode = T.Tuner.Indexes_and_views) ?(budget = infinity)
     ?(iters = ptt_iterations) cat w =
   let opts = T.Tuner.default_options ~mode ~space_budget:budget () in
-  T.Tuner.tune cat w
-    { opts with max_iterations = iters; jobs = effective_jobs () }
+  let checker =
+    if !validate_flag then
+      Some
+        (Relax_check.Checker.create cat ~workload:w ~protected:Config.empty ())
+    else None
+  in
+  let r =
+    T.Tuner.tune cat w
+      {
+        opts with
+        max_iterations = iters;
+        jobs = effective_jobs ();
+        on_iteration = Option.map Relax_check.Checker.hook checker;
+      }
+  in
+  (match checker with
+  | None -> ()
+  | Some c ->
+    let rep = Relax_check.Checker.report c in
+    check_iterations := !check_iterations + rep.iterations_checked;
+    check_violations := !check_violations + List.length rep.violations;
+    if rep.violations <> [] then
+      Printf.printf "  !! differential check: %s\n"
+        (Fmt.str "%a" Relax_check.Checker.pp_report rep));
+  r
 
 let ctt ?(views = true) ?(budget = infinity) cat w =
   B.Ctt.tune cat w (B.Ctt.default_options ~with_views:views ~space_budget:budget ())
@@ -838,6 +867,9 @@ let () =
     | "--jobs" :: n :: rest ->
       set_jobs n;
       parse acc rest
+    | "--validate" :: rest ->
+      validate_flag := true;
+      parse acc rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
       ->
       set_jobs (String.sub arg 7 (String.length arg - 7));
@@ -893,4 +925,11 @@ let () =
           Out_channel.output_char oc '\n');
       Printf.printf "results written to %s\n" path
     with Sys_error msg -> Printf.eprintf "cannot write %s: %s\n" path msg));
-  Printf.printf "\nall experiments completed in %.1f s\n" total
+  Printf.printf "\nall experiments completed in %.1f s\n" total;
+  if !validate_flag then begin
+    Printf.printf
+      "differential check: %d iterations checked across all runs, %d \
+       violation(s)\n"
+      !check_iterations !check_violations;
+    if !check_violations > 0 then exit 1
+  end

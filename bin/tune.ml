@@ -61,7 +61,7 @@ let load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
 
 let run db scale schema_file queries file generate seed updates tool mode
     budget_mb iterations time_s jobs ddl do_compress explain analyze verbose
-    log_level trace_file metrics frontier_csv_file =
+    log_level trace_file metrics frontier_csv_file check check_jsonl =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else log_level);
   let catalog, workload =
@@ -94,12 +94,22 @@ let run db scale schema_file queries file generate seed updates tool mode
       if mode = "indexes" then T.Tuner.Indexes_only
       else T.Tuner.Indexes_and_views
     in
+    let checker =
+      match check with
+      | None -> None
+      | Some _ ->
+        Some
+          (Relax_check.Checker.create catalog ~workload
+             ~protected:Config.empty ())
+    in
     let opts =
       {
         (T.Tuner.default_options ~mode ~space_budget:budget ()) with
         max_iterations = iterations;
         time_budget_s = time_s;
         jobs = Option.value jobs ~default:(Relax_parallel.Pool.default_jobs ());
+        on_iteration =
+          Option.map (fun c -> Relax_check.Checker.hook c) checker;
       }
     in
     let open_out_checked ~what path f =
@@ -123,6 +133,32 @@ let run db scale schema_file queries file generate seed updates tool mode
       (fun path -> Fmt.pr "trace written to %s@." path)
       trace_file;
     Fmt.pr "@.%a@." T.Report.pp_summary r;
+    Option.iter
+      (fun c ->
+        let report = Relax_check.Checker.report c in
+        Fmt.pr "@.differential check:@.%a" Relax_check.Checker.pp_report
+          report;
+        Option.iter
+          (fun path ->
+            open_out_checked ~what:"check JSONL" path (fun path ->
+                let sink = Relax_obs.Trace.file path in
+                List.iter
+                  (fun v ->
+                    Relax_obs.Trace.emit sink
+                      (Relax_check.Checker.violation_json v))
+                  report.Relax_check.Checker.violations;
+                Relax_obs.Trace.emit sink
+                  (Relax_check.Checker.report_json report);
+                Relax_obs.Trace.close sink);
+            Fmt.pr "check report written to %s@." path)
+          check_jsonl;
+        if check = Some `Strict && not (Relax_check.Checker.ok report)
+        then begin
+          Fmt.epr "tune: --check=strict: %d violation(s)@."
+            (List.length report.Relax_check.Checker.violations);
+          exit 1
+        end)
+      checker;
     if metrics then Fmt.pr "@.%a@." T.Report.pp_metrics r;
     Option.iter
       (fun path ->
@@ -371,6 +407,33 @@ let frontier_csv_file =
           "Write the explored (size, cost) points as CSV with a pareto \
            membership column (ptt only).")
 
+let check =
+  Arg.(
+    value
+    & opt ~vopt:(Some `On) (some (enum [ ("on", `On); ("strict", `Strict) ]))
+        None
+    & info [ "check" ] ~docv:"MODE"
+        ~doc:
+          "Run the differential invariant checker alongside the search \
+           (ptt only): every iteration's §3.3.2 cost bound is compared \
+           against what-if re-optimization, every structure's §3.3.1 size \
+           against a packing simulation, every configuration against the \
+           structural invariants, and realized ΔT/ΔS against the \
+           predictions.  Violations are printed, counted in the metrics \
+           and emitted as \\$(b,check.violation) trace events.  With \
+           \\$(b,--check=strict) any violation makes the exit status \
+           non-zero.")
+
+let check_jsonl =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "check-jsonl" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Write the checker's violations and drift histograms as JSON \
+           lines (implies nothing about --trace; the two files are \
+           independent).")
+
 let cmd =
   let doc = "automatic physical database tuning (relaxation-based)" in
   Cmd.v
@@ -379,6 +442,6 @@ let cmd =
       const run $ db $ scale $ schema_file $ queries $ file $ generate
       $ seed $ updates $ tool $ mode $ budget_mb $ iterations $ time_s
       $ jobs $ ddl $ do_compress $ explain $ analyze $ verbose $ log_level
-      $ trace_file $ metrics $ frontier_csv_file)
+      $ trace_file $ metrics $ frontier_csv_file $ check $ check_jsonl)
 
 let () = exit (Cmd.eval cmd)

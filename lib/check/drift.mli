@@ -1,0 +1,27 @@
+(** Fixed-bucket drift histograms.
+
+    The checker records the ratio [realized / predicted] for every
+    quantity it cross-checks (cost bounds, size estimates, penalty
+    components).  Ratios land in a fixed log-scale bucketing centred on
+    1.0, so histograms from different runs are directly comparable and
+    the JSONL rendering is stable. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one [realized / predicted] ratio.  Non-finite ratios (a zero
+    or infinite prediction) go to a dedicated bucket instead of being
+    dropped. *)
+
+val count : t -> int
+val buckets : t -> (string * int) list
+(** (label, count) for every bucket, in ratio order, zero counts
+    included. *)
+
+val mean : t -> float
+(** Arithmetic mean of the finite ratios recorded; [nan] when none. *)
+
+val to_json : t -> Relax_obs.Json.t
+val pp : Format.formatter -> t -> unit

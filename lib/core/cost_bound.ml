@@ -121,20 +121,69 @@ let remap_request_onto_merged (m : View.merge_result) (v : View.t)
 let removed_view_bound ctx (a : O.Plan.access_info) (v : View.t) : float =
   let rows = O.Env.rows ctx.old_env (View.name v) in
   let width = O.Env.row_width ctx.old_env (View.name v) in
-  let pages =
-    Float.max 1.0
-      (rows *. width /. Relax_physical.Size_model.default_params.page_size)
-  in
+  let page = Relax_physical.Size_model.default_params.page_size in
+  let pages = Float.max 1.0 (rows *. width /. page) in
   let scan = (pages *. P.seq_page) +. (rows *. P.cpu_tuple) in
   let sort =
     if a.request.order = [] then 0.0
-    else P.sort_cost ~rows:a.access_rows ~pages
+    else begin
+      (* only the rows the access actually returns reach the sort, not the
+         whole view: cost it on the accessed cardinality and its pages *)
+      let sort_rows = Float.min rows (Float.max 0.0 a.access_rows) in
+      let sort_pages = Float.max 1.0 (sort_rows *. width /. page) in
+      P.sort_cost ~rows:sort_rows ~pages:sort_pages
+    end
   in
   ctx.cbv v +. scan +. (rows *. P.cpu_eval) +. sort
 
+(* The enclosing plan may consume an access's delivered output order
+   without re-sorting: a merge join's inputs, a streaming aggregate's
+   input, the query's ORDER BY when no Sort operator re-establishes it.
+   Patching such an access with an unordered replacement silently
+   invalidates the surrounding plan — the optimizer's true best can then
+   exceed the "bound" (the checker caught exactly this on a TPC-H merge
+   join fed by an index scan's key order).  [go] threads whether the
+   parent still needs this subtree's order; at each access that order, if
+   needed, becomes part of the replacement's request. *)
+let accesses_with_consumed_order ~order_by (plan : O.Plan.t) :
+    (O.Plan.access_info * (column * order_dir) list) list =
+  let rec go needed (p : O.Plan.t) acc =
+    match p.node with
+    | O.Plan.Seq_scan _ | Index_scan _ | Index_seek _ | Rid_union _ -> acc
+    | Access { info; input } ->
+      let consumed = if needed then p.out_order else [] in
+      (info, consumed) :: go needed input acc
+    | Sort { input; _ } -> go false input acc
+    | Filter { input; _ } | Rid_lookup { input; _ } -> go needed input acc
+    | Rid_intersect (a, b) -> go false a (go false b acc)
+    | Hash_join { build; probe; _ } -> go false build (go needed probe acc)
+    | Merge_join { left; right; _ } -> go true left (go true right acc)
+    | Nl_join { outer; inner; _ } -> go needed outer (go false inner acc)
+    | Group { input; streaming; _ } -> go streaming input acc
+  in
+  go (order_by <> []) plan []
+
+(* Fold the consumed order into the access's request, so every bounding
+   strategy below (access-path re-selection, view remapping, CBV) prices
+   the sort needed to keep the enclosing plan valid. *)
+let with_consumed_order (a : O.Plan.access_info)
+    (consumed : (column * order_dir) list) : O.Plan.access_info =
+  if consumed = [] || a.request.order <> [] then a
+  else
+    {
+      a with
+      request =
+        O.Request.make ~rel:a.request.rel ~ranges:a.request.ranges
+          ~param_eq:a.request.param_eq ~others:a.request.others
+          ~order:consumed ~cols:a.request.cols ();
+    }
+
 (** Upper bound on the cost of re-implementing one affected access under the
-    relaxed configuration (per execution). *)
-let access_bound ctx (a : O.Plan.access_info) : float =
+    relaxed configuration (per execution).  [consumed_order] is the output
+    order the enclosing plan relies on this access to deliver (empty when
+    none): the replacement must provide it too. *)
+let access_bound ?(consumed_order = []) ctx (a : O.Plan.access_info) : float =
+  let a = with_consumed_order a consumed_order in
   match ctx.view_merge with
   | Some (m, v1, v2) when a.rel = View.name v1 || a.rel = View.name v2 -> (
     let v, remap =
@@ -167,17 +216,27 @@ let access_bound ctx (a : O.Plan.access_info) : float =
     end
 
 (** Upper bound on the whole query's cost under the relaxed configuration:
-    patch every affected access, keep the rest of the plan (§3.3.2). *)
-let query_bound ctx (plan : O.Plan.t) : float =
-  let accesses = O.Plan.accesses plan in
+    patch every affected access, keep the rest of the plan (§3.3.2).
+    [order_by] is the query's required output order — when the plan
+    delivers it through an access rather than a Sort operator, patching
+    that access must preserve it. *)
+let query_bound ?(order_by = []) ctx (plan : O.Plan.t) : float =
   List.fold_left
-    (fun acc (a : O.Plan.access_info) ->
+    (fun acc ((a : O.Plan.access_info), consumed) ->
       if affected ctx a then
+        (* access-path selection under [C'] may find a *cheaper* path than
+           the one the old plan used; a negative delta would drag the
+           "upper bound" below the cost of the (still valid) patched plan,
+           so each per-access contribution is clamped at zero — the result
+           stays an upper bound on the optimizer's cost under [C']. *)
         acc
-        +. (a.executions *. access_bound ctx a)
-        -. (a.executions *. a.access_cost)
+        +. Float.max 0.0
+             (a.executions
+             *. (access_bound ~consumed_order:consumed ctx a -. a.access_cost)
+             )
       else acc)
-    plan.cost accesses
+    plan.cost
+    (accesses_with_consumed_order ~order_by plan)
 
 (** Does this plan touch any structure the relaxation removes? *)
 let plan_affected ctx (plan : O.Plan.t) =

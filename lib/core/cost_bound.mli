@@ -29,10 +29,31 @@ type context = {
 val affected : context -> O.Plan.access_info -> bool
 val plan_affected : context -> O.Plan.t -> bool
 
-val access_bound : context -> O.Plan.access_info -> float
+val access_bound :
+  ?consumed_order:(Relax_sql.Types.column * Relax_sql.Types.order_dir) list ->
+  context ->
+  O.Plan.access_info ->
+  float
 (** Upper bound on re-implementing one affected access under [C'], per
-    execution. *)
+    execution.  [consumed_order] is the output order the enclosing plan
+    consumes from this access without re-sorting (a merge join's input, a
+    streaming aggregate's input, the query's ORDER BY): the replacement is
+    required to deliver it too, or the patched plan would not be valid. *)
 
-val query_bound : context -> O.Plan.t -> float
+val removed_view_bound : context -> O.Plan.access_info -> View.t -> float
+(** The CBV bound for an access whose view the relaxation removes: compute
+    the view from scratch under the base configuration, scan and filter its
+    result, and sort only the accessed cardinality when the request is
+    ordered.  Exposed for the differential checker and regression tests. *)
+
+val query_bound :
+  ?order_by:(Relax_sql.Types.column * Relax_sql.Types.order_dir) list ->
+  context ->
+  O.Plan.t ->
+  float
 (** Upper bound on the whole query's cost under [C']: patch every affected
-    access, keep the rest of the plan. *)
+    access, keep the rest of the plan.  Each per-access delta is clamped at
+    zero, so the result is never below [plan.cost] — a cheaper access path
+    found under [C'] cannot drag the bound below the cost of a valid plan.
+    [order_by] is the query's required output order; when an access (not a
+    Sort operator) delivers it, its replacement must preserve it. *)

@@ -40,6 +40,28 @@ type selection =
   | Space_greedy  (** maximize ΔS only (ignores cost) *)
   | Random of int  (** uniformly random applicable transformation (seeded) *)
 
+(** Everything a differential checker needs to replay one iteration of the
+    search against independent oracles (see [Relax_check]).  [it_applied]
+    is the configuration right after applying [it_transform] to the parent
+    — before the §3.5 multi-transformation extension and shrinking — so a
+    checker can re-derive it and compare; [it_result] is the evaluated
+    node's (configuration, cost, size) when the outcome is ["evaluated"]. *)
+type iteration_report = {
+  it_iteration : int;
+  it_parent : Config.t;
+  it_parent_cost : float;
+  it_parent_size : float;
+  it_transform : Transform.t;
+  it_applied : Config.t option;
+  it_predicted_delta_cost : float;  (** ΔT: the §3.3.2 upper bound *)
+  it_predicted_delta_space : float;  (** ΔS: the §3.3.1 estimate *)
+  it_penalty : float;
+  it_outcome : string;
+      (** [evaluated], [shortcut], [duplicate] or [inapplicable] *)
+  it_result : (Config.t * float * float) option;
+      (** (configuration, cost, size) of the evaluated node *)
+}
+
 type options = {
   space_budget : float;  (** B, in bytes *)
   max_iterations : int;
@@ -60,6 +82,10 @@ type options = {
       (** worker domains for parallel candidate scoring and plan
           re-optimization; 1 = fully sequential.  The result is identical
           whatever the value. *)
+  on_iteration : (iteration_report -> unit) option;
+      (** invoked once per iteration, after evaluation and trace emission,
+          from the main domain (never from workers).  Used by the
+          differential invariant checker. *)
 }
 
 let default_options ~space_budget =
@@ -74,6 +100,7 @@ let default_options ~space_budget =
     shrink_configurations = false;
     selection = Penalty;
     jobs = Pool.default_jobs ();
+    on_iteration = None;
   }
 
 (** A ranked candidate transformation of one configuration. *)
@@ -526,7 +553,17 @@ let rank_candidates st (n : node) : candidate list =
           (fun acc (qid, w) ->
             let plan = String_map.find qid n.plans in
             if Cost_bound.plan_affected ctx plan then
-              acc +. (w *. (Cost_bound.query_bound ctx plan -. plan.O.Plan.cost))
+              let order_by =
+                match
+                  List.find_opt (fun (q, _, _) -> q = qid) st.prepared.selects
+                with
+                | Some (_, _, (sq : Query.select_query)) -> sq.order_by
+                | None -> []
+              in
+              acc
+              +. (w
+                 *. (Cost_bound.query_bound ~order_by ctx plan
+                    -. plan.O.Plan.cost))
             else acc)
           0.0 affected
     in
@@ -872,11 +909,12 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
          | Some cand ->
            st.iterations <- st.iterations + 1;
            Obs.Probe.iteration ();
+           let applied =
+             Transform.apply ~estimate_rows:(estimate_view_rows st) c.config
+               cand.tr
+           in
            let status, produced =
-             match
-               Transform.apply ~estimate_rows:(estimate_view_rows st) c.config
-                 cand.tr
-             with
+             match applied with
              | None -> ("inapplicable", None)
              | Some config' -> (
                (* §3.5 variant: pile up to k−1 further non-conflicting
@@ -915,7 +953,25 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
                end)
            in
            Obs.Probe.pool_size (List.length st.nodes);
-           emit_iteration st ~parent:c ~cand ~status ~node:produced)
+           emit_iteration st ~parent:c ~cand ~status ~node:produced;
+           match st.opts.on_iteration with
+           | None -> ()
+           | Some check ->
+             check
+               {
+                 it_iteration = st.iterations;
+                 it_parent = c.config;
+                 it_parent_cost = c.cost;
+                 it_parent_size = c.size;
+                 it_transform = cand.tr;
+                 it_applied = applied;
+                 it_predicted_delta_cost = cand.delta_cost;
+                 it_predicted_delta_space = cand.delta_space;
+                 it_penalty = cand.penalty;
+                 it_outcome = status;
+                 it_result =
+                   Option.map (fun n -> (n.config, n.cost, n.size)) produced;
+               })
      done
    with Exit -> ());
   let calls, hits = O.Whatif.stats whatif in

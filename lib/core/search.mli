@@ -23,6 +23,29 @@ type selection =
   | Space_greedy  (** maximize ΔS only *)
   | Random of int  (** uniformly random, seeded *)
 
+(** Everything a differential checker needs to replay one iteration of the
+    search against independent oracles (see [Relax_check]).  [it_applied]
+    is the configuration right after applying [it_transform] to the parent
+    — before the §3.5 multi-transformation extension and shrinking — so a
+    checker can re-derive and compare it; [it_result] is the evaluated
+    node's (configuration, cost, size) when the outcome is
+    ["evaluated"]. *)
+type iteration_report = {
+  it_iteration : int;
+  it_parent : Config.t;
+  it_parent_cost : float;
+  it_parent_size : float;
+  it_transform : Transform.t;
+  it_applied : Config.t option;
+  it_predicted_delta_cost : float;  (** ΔT: the §3.3.2 upper bound *)
+  it_predicted_delta_space : float;  (** ΔS: the §3.3.1 estimate *)
+  it_penalty : float;
+  it_outcome : string;
+      (** [evaluated], [shortcut], [duplicate] or [inapplicable] *)
+  it_result : (Config.t * float * float) option;
+      (** (configuration, cost, size) of the evaluated node *)
+}
+
 type options = {
   space_budget : float;  (** B, bytes *)
   max_iterations : int;
@@ -38,11 +61,16 @@ type options = {
           re-optimization; 1 = fully sequential.  The recommended
           configuration, costs, frontier and trace event counts are
           identical whatever the value. *)
+  on_iteration : (iteration_report -> unit) option;
+      (** invoked once per iteration, after evaluation and trace emission,
+          from the main domain (never from workers).  Used by the
+          differential invariant checker. *)
 }
 
 val default_options : space_budget:float -> options
 (** [jobs] defaults to {!Relax_parallel.Pool.default_jobs} ([RELAX_JOBS]
-    or the machine's domain count, capped at 8). *)
+    or the machine's domain count, capped at 8); [on_iteration] to
+    [None]. *)
 
 type candidate = {
   tr : Transform.t;

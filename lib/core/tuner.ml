@@ -31,6 +31,9 @@ type options = {
   jobs : int;
       (** worker domains for the parallel search; 1 = sequential.  The
           recommendation is identical whatever the value. *)
+  on_iteration : (Search.iteration_report -> unit) option;
+      (** per-iteration hook threaded to {!Search.run}; used by the
+          differential invariant checker ([Relax_check]) *)
 }
 
 let default_options ?(mode = Indexes_and_views) ~space_budget () =
@@ -44,6 +47,7 @@ let default_options ?(mode = Indexes_and_views) ~space_budget () =
     shrink_configurations = false;
     selection = Search.Penalty;
     jobs = Relax_parallel.Pool.default_jobs ();
+    on_iteration = None;
   }
 
 type result = {
@@ -107,6 +111,7 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
       shrink_configurations = options.shrink_configurations;
       selection = options.selection;
       jobs = options.jobs;
+      on_iteration = options.on_iteration;
     }
   in
   let outcome =

@@ -21,6 +21,9 @@ type options = {
       (** worker domains for the parallel search; 1 = sequential.  The
           recommendation, costs, frontier and trace event counts are
           identical whatever the value. *)
+  on_iteration : (Search.iteration_report -> unit) option;
+      (** per-iteration hook threaded to {!Search.run}; used by the
+          differential invariant checker ([Relax_check]) *)
 }
 
 val default_options : ?mode:mode -> space_budget:float -> unit -> options

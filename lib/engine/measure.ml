@@ -20,8 +20,9 @@ type measured = {
 
 let heap_rows_per_page env rel =
   let width = Float.max 1.0 (O.Env.row_width env rel) in
+  (* floor, matching the size model: a partial row does not fit on a page *)
   Float.max 1.0
-    (Float.round
+    (Float.floor
        ((Size_model.default_params.page_size -. Size_model.default_params.page_overhead)
         *. Size_model.default_params.fill_factor /. width))
 

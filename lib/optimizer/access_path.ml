@@ -367,9 +367,34 @@ let intersection_candidates env (r : Request.t) seekable : candidate list =
         in
         let p1 = mk_seek i1 s1 and p2 = mk_seek i2 s2 in
         let rows_base = Env.rows env r.rel in
-        let out_rows =
-          Float.max 1.0 (rows_base *. s1.seek_sel *. s2.seek_sel)
+        (* combined selectivity over the *distinct* predicates the two seeks
+           consumed: both indexes may seek the same range (e.g. two indexes
+           keyed on the same column), and multiplying the per-seek
+           selectivities would then double-count it — yielding an output
+           cardinality below what the request logically returns, which in
+           turn breaks the relaxation bound's local-patching argument
+           (access cardinality must depend on the request, not the path) *)
+        let distinct_ranges =
+          List.fold_left
+            (fun acc (rg : Predicate.range) ->
+              if List.memq rg acc then acc else rg :: acc)
+            [] (s1.used_ranges @ s2.used_ranges)
         in
+        let distinct_params =
+          List.fold_left
+            (fun acc c ->
+              if List.exists (Column.equal c) acc then acc else c :: acc)
+            [] (s1.used_params @ s2.used_params)
+        in
+        let combined_sel =
+          List.fold_left
+            (fun acc rg -> acc *. Selectivity.range env rg)
+            1.0 distinct_ranges
+          *. List.fold_left
+               (fun acc c -> acc *. Selectivity.param_eq env c)
+               1.0 distinct_params
+        in
+        let out_rows = Float.max 1.0 (rows_base *. combined_sel) in
         let inter =
           mk
             (Plan.Rid_intersect (p1, p2))

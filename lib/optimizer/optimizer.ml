@@ -321,12 +321,32 @@ let optimize_select env ?hooks (sq : Query.select_query) : Plan.t =
                          else (j.right, j.left))
                        joins)
                 in
-                let sorted_input (p : Plan.t) keys =
+                (* join-key interesting orders: a single-table side may
+                   satisfy the merge order through an order-providing index
+                   instead of an explicit sort.  Requesting the ordered
+                   access explicitly matters beyond plan quality: the §3.3.2
+                   relaxation bound patches accesses with their consumed
+                   order folded into the request, and its soundness needs
+                   the optimizer's plan space to contain those patched
+                   plans (the checker caught a configuration where the
+                   best *unordered* access lost the order an index had
+                   delivered for free, and the bound undercut the
+                   re-optimized cost). *)
+                let sorted_input sub (p : Plan.t) keys =
                   let required = List.map (fun c -> (c, Asc)) keys in
-                  Access_path.add_sort env p ~required
+                  let sorted = Access_path.add_sort env p ~required in
+                  if popcount sub <> 1 then sorted
+                  else begin
+                    let i =
+                      table_index info (List.hd (tables_of_mask info sub))
+                    in
+                    let r = base_request env info i ~order:required in
+                    let ordered = Access_path.best env ?hooks r in
+                    if ordered.cost < sorted.cost then ordered else sorted
+                  end
                 in
-                let ls = sorted_input lp left_keys
-                and rs = sorted_input rp right_keys in
+                let ls = sorted_input left lp left_keys
+                and rs = sorted_input right rp right_keys in
                 finish
                   (Merge_join { left = ls; right = rs; joins })
                   ~cost:

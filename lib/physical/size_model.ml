@@ -3,9 +3,11 @@
     The size of an index is the sum of pages over the B-tree levels: leaf
     entries are key plus suffix columns (plus a rid for secondary indexes, or
     the whole row for clustered ones); internal entries are key columns plus
-    a child pointer.  Leaf pages hold [PL = page / WL] entries, internal
-    pages [PI = page / WI]; level 0 needs [S0 = ceil(rows / PL)] pages and
-    level [i] needs [ceil(S_{i-1} / PI)], until a level fits in one page. *)
+    a child pointer.  Leaf pages hold [PL = floor(page / WL)] entries,
+    internal pages [PI = floor(page / WI)] — a partial entry does not fit,
+    so capacities never round up; level 0 needs [S0 = ceil(rows / PL)]
+    pages and level [i] needs [ceil(S_{i-1} / PI)], until a level fits in
+    one page. *)
 
 type params = {
   page_size : float;  (** bytes per page *)
@@ -26,16 +28,24 @@ let default_params =
 
 let usable p = (p.page_size -. p.page_overhead) *. p.fill_factor
 
+(* Entries fitting one page.  The floor matters: rounding to nearest can
+   round *up*, overstating fan-out and undersizing the structure — a
+   configuration sized against the budget with a rounded-up capacity can
+   exceed the real budget once built. *)
+let leaf_capacity p leaf_width =
+  Float.max 1.0 (Float.floor (usable p /. Float.max 1.0 leaf_width))
+
+let internal_capacity p key_width =
+  Float.max 2.0
+    (Float.floor (usable p /. Float.max 1.0 (key_width +. p.pointer_width)))
+
 (** Pages of a B-tree with [rows] leaf entries of width [leaf_width] and
     internal entries of width [key_width]. *)
 let btree_pages ?(params = default_params) ~rows ~leaf_width ~key_width () =
   let rows = Float.max 1.0 rows in
-  let pl = Float.max 1.0 (Float.round (usable params /. Float.max 1.0 leaf_width)) in
-  let pi =
-    Float.max 2.0
-      (Float.round (usable params /. Float.max 1.0 (key_width +. params.pointer_width)))
-  in
-  let leaf_pages = Float.of_int (int_of_float (Float.ceil (rows /. pl))) in
+  let pl = leaf_capacity params leaf_width in
+  let pi = internal_capacity params key_width in
+  let leaf_pages = Float.ceil (rows /. pl) in
   let rec levels acc s =
     if s <= 1.0 then acc
     else
@@ -47,11 +57,8 @@ let btree_pages ?(params = default_params) ~rows ~leaf_width ~key_width () =
 (** Number of B-tree levels above the leaves (the seek descent length). *)
 let btree_height ?(params = default_params) ~rows ~leaf_width ~key_width () =
   let rows = Float.max 1.0 rows in
-  let pl = Float.max 1.0 (Float.round (usable params /. Float.max 1.0 leaf_width)) in
-  let pi =
-    Float.max 2.0
-      (Float.round (usable params /. Float.max 1.0 (key_width +. params.pointer_width)))
-  in
+  let pl = leaf_capacity params leaf_width in
+  let pi = internal_capacity params key_width in
   let rec go h s = if s <= 1.0 then h else go (h + 1) (Float.ceil (s /. pi)) in
   go 0 (Float.ceil (rows /. pl))
 
@@ -82,7 +89,7 @@ let index_bytes ?(params = default_params) ~rows ~width_of ~row_width
 let leaf_pages ?(params = default_params) ~rows ~width_of ~row_width
     (i : Index.t) =
   let _, leaf_width = index_widths ~width_of ~row_width i in
-  let pl = Float.max 1.0 (Float.round (usable params /. Float.max 1.0 leaf_width)) in
+  let pl = leaf_capacity params leaf_width in
   Float.ceil (Float.max 1.0 rows /. pl)
 
 (** Height of an index's B-tree (seek descent cost in page reads). *)
@@ -93,7 +100,7 @@ let height ?(params = default_params) ~rows ~width_of ~row_width (i : Index.t)
 
 (** Pages of a heap holding [rows] rows of width [row_width]. *)
 let heap_pages ?(params = default_params) ~rows ~row_width () =
-  let per = Float.max 1.0 (Float.round (usable params /. Float.max 1.0 row_width)) in
+  let per = leaf_capacity params row_width in
   Float.ceil (Float.max 1.0 rows /. per)
 
 let mb bytes = bytes /. (1024.0 *. 1024.0)

@@ -180,6 +180,66 @@ let test_pretty_view_sql_reparses () =
     Alcotest.(check int) "same tables" 2 (List.length q.body.tables)
   | _ -> Alcotest.fail "view definition did not re-parse"
 
+(* --- CBV bound (§3.3.2, view removal) -------------------------------------- *)
+
+(* Regression: the compensating sort of [removed_view_bound] is costed on
+   the access's own cardinality, not on the whole view.  A selective
+   ordered access over a removed 50k-row view must pay only a 50-row
+   sort. *)
+let test_removed_view_bound_sorts_accessed_rows () =
+  let module View = Relax_physical.View in
+  let module T = Relax_tuner in
+  let module P = O.Cost_params in
+  let cat = Lazy.force cat in
+  let view = View.make (Fixtures.parse_select "SELECT r.a, r.b FROM r").body in
+  let rows = 50_000.0 in
+  let config = Config.add_view Config.empty view ~rows in
+  let old_env = O.Env.make cat config in
+  let ctx : T.Cost_bound.context =
+    {
+      env' = O.Env.make cat Config.empty;
+      old_env;
+      removed_indexes = [];
+      removed_views = [ view ];
+      view_merge = None;
+      cbv = (fun _ -> 1000.0);
+    }
+  in
+  let vname = View.name view in
+  let access ~order ~access_rows : O.Plan.access_info =
+    {
+      rel = vname;
+      request =
+        O.Request.make ~rel:vname ~order
+          ~cols:(Column_set.singleton (c vname "r_a"))
+          ();
+      usages = [];
+      via_view = None;
+      access_cost = 0.0;
+      access_rows;
+      sorted = order <> [];
+      executions = 1.0;
+    }
+  in
+  let ordered = [ (c vname "r_a", Asc) ] in
+  let b_unordered = T.Cost_bound.removed_view_bound ctx (access ~order:[] ~access_rows:50.0) view in
+  let b_selective =
+    T.Cost_bound.removed_view_bound ctx (access ~order:ordered ~access_rows:50.0) view
+  in
+  let b_full =
+    T.Cost_bound.removed_view_bound ctx (access ~order:ordered ~access_rows:rows) view
+  in
+  let width = O.Env.row_width old_env vname in
+  let page = Relax_physical.Size_model.default_params.page_size in
+  let expected_sort =
+    P.sort_cost ~rows:50.0 ~pages:(Float.max 1.0 (50.0 *. width /. page))
+  in
+  Fixtures.check_float ~eps:1e-6 "sort costed on accessed cardinality"
+    expected_sort
+    (b_selective -. b_unordered);
+  Alcotest.(check bool) "50-row sort far below full-view sort" true
+    (b_full -. b_selective > 10.0 *. expected_sort)
+
 let suite =
   [
     Alcotest.test_case "sel: unbounded" `Quick test_sel_full_range_is_one;
@@ -203,4 +263,6 @@ let suite =
     Alcotest.test_case "ddl: drop" `Quick test_ddl_drop_script;
     Alcotest.test_case "pretty: view sql re-parses" `Quick
       test_pretty_view_sql_reparses;
+    Alcotest.test_case "cbv: sort on accessed rows" `Quick
+      test_removed_view_bound_sorts_accessed_rows;
   ]

@@ -12,5 +12,6 @@ let () =
       ("workloads", Suite_workloads.suite);
       ("costing", Suite_costing.suite);
       ("engine", Suite_engine.suite);
+      ("check", Suite_check.suite);
       ("integration", Suite_integration.suite);
     ]
