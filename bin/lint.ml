@@ -1,0 +1,85 @@
+(** relax-lint driver: run the static-analysis rules over the cmt files
+    of a build tree (normally [lib/], via the [@lint] dune alias).
+
+    Exit status is non-zero when any unwaived finding remains, so
+    [dune build @lint] doubles as the CI gate.  Findings are printed as
+    human-readable lines and, with [--jsonl], written as JSONL reusing
+    the observability layer's JSON printer. *)
+
+let () =
+  let root = ref "lib" in
+  let jsonl = ref "" in
+  let quiet = ref false in
+  let assume_parallel = ref false in
+  let args =
+    [
+      ("--root", Arg.Set_string root, "DIR directory scanned for .cmt files (default: lib)");
+      ("--jsonl", Arg.Set_string jsonl, "FILE write findings as JSONL");
+      ("--quiet", Arg.Set quiet, " suppress the per-finding text output");
+      ( "--assume-parallel",
+        Arg.Set assume_parallel,
+        " treat every module as pool-reachable (debugging aid)" );
+    ]
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "lint [--root DIR] [--jsonl FILE]";
+  (* The cmt files live in the build tree.  Under the [@lint] alias the
+     action already runs from [_build/default], so [--root lib] is right
+     as given; under [dune exec] from the workspace root it is not, so
+     fall back to the build tree this very binary was built in. *)
+  let run ~root ~src_root =
+    Relax_lint.Engine.run
+      {
+        (Relax_lint.Engine.default ~root) with
+        src_root;
+        assume_parallel = !assume_parallel;
+      }
+  in
+  let result =
+    let r = run ~root:!root ~src_root:"." in
+    if r.modules_checked > 0 || not (Filename.is_relative !root) then r
+    else begin
+      let build_root = Filename.dirname (Filename.dirname Sys.executable_name) in
+      run ~root:(Filename.concat build_root !root) ~src_root:build_root
+    end
+  in
+  if result.modules_checked = 0 then begin
+    Fmt.epr
+      "relax-lint: no cmt files under %s — build first (dune build) or \
+       point --root at a build tree@."
+      !root;
+    exit 2
+  end;
+  let module F = Relax_lint.Finding in
+  if not !quiet then
+    List.iter (fun f -> Fmt.pr "%a@." F.pp f) result.findings;
+  if !jsonl <> "" then begin
+    let oc = open_out !jsonl in
+    List.iter
+      (fun f ->
+        output_string oc (Relax_obs.Json.to_string (F.to_json f));
+        output_char oc '\n')
+      (result.findings @ result.waived);
+    let summary =
+      Relax_obs.Json.Obj
+        [
+          ("event", Relax_obs.Json.String "lint.summary");
+          ("modules", Relax_obs.Json.Int result.modules_checked);
+          ("findings", Relax_obs.Json.Int (List.length result.findings));
+          ("waived", Relax_obs.Json.Int (List.length result.waived));
+          ( "parallel_reachable",
+            Relax_obs.Json.Int (List.length result.parallel_reachable) );
+        ]
+    in
+    output_string oc (Relax_obs.Json.to_string summary);
+    output_char oc '\n';
+    close_out oc
+  end;
+  Fmt.pr "relax-lint: %d module(s), %d finding(s), %d waived, %d in the \
+          parallel closure@."
+    result.modules_checked
+    (List.length result.findings)
+    (List.length result.waived)
+    (List.length result.parallel_reachable);
+  if result.findings <> [] then exit 1

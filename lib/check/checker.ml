@@ -157,7 +157,11 @@ let relation_rows_measured t config owner =
 
 (* --- the per-iteration hook --------------------------------------------- *)
 
-let rel_gap ~scale x = x /. Float.max 1.0 (Float.abs scale)
+(* All float comparisons against oracle values go through the
+   Cost_bound epsilon helpers (lint L3): a bound holds when the actual
+   cost is below it up to relative [bound_epsilon] noise. *)
+let bound_ok (tol : tolerances) ~bound ~actual =
+  T.Cost_bound.float_leq ~eps:tol.bound_epsilon actual bound
 
 let hook t (r : T.Search.iteration_report) =
   t.iterations_checked <- t.iterations_checked + 1;
@@ -233,9 +237,7 @@ let hook t (r : T.Search.iteration_report) =
               in
               Drift.add t.bound_drift
                 (if bound > 0.0 then actual /. bound else Float.nan);
-              if
-                rel_gap ~scale:actual (actual -. bound) > t.tol.bound_epsilon
-              then begin
+              if not (bound_ok t.tol ~bound ~actual) then begin
                 add "bound_soundness" ~subject:(tr_label ^ " / " ^ qid)
                   ~detail:
                     "the §3.3.2 upper bound is below the re-optimized cost"
@@ -273,17 +275,17 @@ let hook t (r : T.Search.iteration_report) =
         if Float.abs r.it_predicted_delta_cost > 0.0 then
           Drift.add t.cost_drift (realized_dt /. r.it_predicted_delta_cost);
         if
-          rel_gap ~scale:r.it_predicted_delta_cost
-            (realized_dt -. r.it_predicted_delta_cost)
-          > t.tol.penalty_epsilon
+          not
+            (T.Cost_bound.float_leq ~eps:t.tol.penalty_epsilon realized_dt
+               r.it_predicted_delta_cost)
         then
           add "delta_cost" ~subject:tr_label
             ~detail:"realized ΔT exceeds the predicted upper bound"
             ~expected:r.it_predicted_delta_cost ~actual:realized_dt;
         if
-          rel_gap ~scale:r.it_predicted_delta_space
-            (Float.abs (realized_ds -. r.it_predicted_delta_space))
-          > t.tol.penalty_epsilon
+          not
+            (T.Cost_bound.float_eq ~eps:t.tol.penalty_epsilon realized_ds
+               r.it_predicted_delta_space)
         then
           add "delta_space" ~subject:tr_label
             ~detail:"realized ΔS diverges from the predicted space saving"

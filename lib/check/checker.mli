@@ -74,6 +74,12 @@ val create :
   unit ->
   t
 
+val bound_ok : tolerances -> bound:float -> actual:float -> bool
+(** Whether [actual] respects the upper [bound] within relative
+    [bound_epsilon] noise ({!Relax_tuner.Cost_bound.float_leq}); the
+    predicate behind the bound-soundness rule, exposed so tests can pin
+    its tolerance behaviour. *)
+
 val hook : t -> Relax_tuner.Search.iteration_report -> unit
 (** The per-iteration entry point; pass [Some (Checker.hook t)] as
     [on_iteration]. *)

@@ -34,6 +34,21 @@ type context = {
       (** cost of computing a view under the base configuration *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* tolerant float comparisons                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Costs and sizes are sums of products of estimates: the last ulps of a
+   comparison are accumulation noise, not signal.  Every cost/size
+   comparison in the costing layers goes through these helpers (enforced
+   by relax-lint L3); the default tolerance is relative to the larger
+   magnitude, with an absolute floor of [eps] around zero. *)
+
+let float_scale a b = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+let float_eq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. float_scale a b
+let float_leq ?(eps = 1e-9) a b = a -. b <= eps *. float_scale a b
+let float_lt ?(eps = 1e-9) a b = b -. a > eps *. float_scale a b
+
 let index_removed ctx i = List.exists (Index.equal i) ctx.removed_indexes
 
 let view_removed ctx name =

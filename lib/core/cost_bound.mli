@@ -26,6 +26,20 @@ type context = {
       (** cost of computing a view under the base configuration *)
 }
 
+val float_eq : ?eps:float -> float -> float -> bool
+(** Tolerant equality for cost/size values: true when the two values agree
+    within [eps] (default [1e-9]) relative to the larger magnitude, with an
+    absolute floor of [eps] around zero.  Raw polymorphic comparison at
+    type float in the costing layers is rejected by relax-lint rule L3;
+    these helpers are the sanctioned replacements. *)
+
+val float_leq : ?eps:float -> float -> float -> bool
+(** [float_leq a b]: is [a <= b] up to the same tolerance?  ([a] may
+    exceed [b] by accumulation noise without failing.) *)
+
+val float_lt : ?eps:float -> float -> float -> bool
+(** [float_lt a b]: is [a < b] by clearly more than the tolerance? *)
+
 val affected : context -> O.Plan.access_info -> bool
 val plan_affected : context -> O.Plan.t -> bool
 

@@ -62,7 +62,9 @@ let pp_frontier ppf (r : Tuner.result) =
 let frontier_csv (r : Tuner.result) : string =
   let pareto = pareto_frontier r.frontier in
   let on_frontier s c =
-    List.exists (fun (s', c') -> s = s' && c = c') pareto
+    List.exists
+      (fun (s', c') -> Cost_bound.float_eq s s' && Cost_bound.float_eq c c')
+      pareto
   in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "size_bytes,cost,pareto\n";

@@ -448,7 +448,7 @@ let skyline_filter (raw : candidate list) : candidate list =
       let ds = arr.(order.(!i)).delta_space in
       let j = ref !i in
       let gmin = ref infinity in
-      while !j < m && arr.(order.(!j)).delta_space = ds do
+      while !j < m && Cost_bound.float_eq arr.(order.(!j)).delta_space ds do
         gmin := Float.min !gmin arr.(order.(!j)).delta_cost;
         incr j
       done;
@@ -831,6 +831,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       rand =
         Random.State.make
           [| (match opts.selection with Random seed -> seed | _ -> 0) |];
+      (* relax-lint: allow L5 anchor of the user-requested --time-budget *)
       started = Unix.gettimeofday ();
     }
   in
@@ -894,6 +895,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
   let time_ok () =
     match opts.time_budget_s with
     | None -> true
+    (* relax-lint: allow L5 explicit user-requested wall-clock budget *)
     | Some s -> Unix.gettimeofday () -. st.started < s
   in
   let last = ref root in

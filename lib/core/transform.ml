@@ -213,9 +213,14 @@ let enumerate ?(protected = Config.empty) (config : Config.t) : t list =
       if (not i.clustered) && Config.clustered_on config (Index.owner i) = None
       then push (Promote_clustered i))
     indexes;
-  (* same-relation merges and splits *)
-  Hashtbl.iter
-    (fun _ group ->
+  (* same-relation merges and splits; owners are walked in sorted order —
+     Hashtbl iteration order must never leak into transform enumeration
+     (candidate tie-breaks preserve generation order) *)
+  List.iter
+    (fun owner ->
+      let group =
+        Option.value ~default:[] (Hashtbl.find_opt by_owner owner)
+      in
       List.iter
         (fun a ->
           List.iter
@@ -227,7 +232,7 @@ let enumerate ?(protected = Config.empty) (config : Config.t) : t list =
               end)
             group)
         group)
-    by_owner;
+    (List.sort_uniq String.compare (List.map Index.owner indexes));
   (* view merges: same FROM set *)
   List.iter
     (fun a ->

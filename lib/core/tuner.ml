@@ -92,6 +92,7 @@ let workload_cost catalog config w =
    the metrics snapshot can be taken after the outermost span has closed. *)
 let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
     (options : options) : Relax_obs.Metrics.snapshot -> result =
+  (* relax-lint: allow L5 reported elapsed_s, never a tuning decision *)
   let t0 = Unix.gettimeofday () in
   Relax_obs.Recorder.with_ambient recorder @@ fun () ->
   Relax_obs.Recorder.with_span recorder "tuner.tune" @@ fun () ->
@@ -183,6 +184,7 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
       best_trace = outcome.best_trace;
       iterations = outcome.iterations;
       metrics;
+      (* relax-lint: allow L5 reported elapsed_s, never a tuning decision *)
       elapsed_s = Unix.gettimeofday () -. t0;
     }
 
@@ -194,10 +196,7 @@ let tune ?obs catalog workload options : result =
   let recorder =
     match obs with
     | Some r -> r
-    | None -> (
-      match Relax_obs.Recorder.ambient () with
-      | Some r -> r
-      | None -> Relax_obs.Recorder.create ())
+    | None -> Relax_obs.Recorder.inherit_or_create ()
   in
   let finish = tune_spanned recorder catalog workload options in
   finish (Relax_obs.Recorder.snapshot recorder)

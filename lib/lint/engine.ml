@@ -1,0 +1,118 @@
+type config = {
+  root : string;
+  src_root : string;
+  obs_dirs : string list;
+  costing_dirs : string list;
+  intdiv_dirs : string list;
+  core_dirs : string list;
+  assume_parallel : bool;
+}
+
+let default ~root =
+  {
+    root;
+    src_root = ".";
+    obs_dirs = [ "lib/obs" ];
+    costing_dirs = [ "lib/core"; "lib/physical"; "lib/check" ];
+    intdiv_dirs = [ "lib/physical" ];
+    core_dirs = [ "lib/core" ];
+    assume_parallel = false;
+  }
+
+type result = {
+  findings : Finding.t list;
+  waived : Finding.t list;
+  modules_checked : int;
+  parallel_reachable : string list;
+}
+
+let contains ~fragment s =
+  let lf = String.length fragment and ls = String.length s in
+  let rec go i =
+    if i + lf > ls then false
+    else String.sub s i lf = fragment || go (i + 1)
+  in
+  go 0
+
+let in_dirs dirs source =
+  List.exists (fun d -> contains ~fragment:d source) dirs
+
+(* transitive import closure of the pool-task seeds, restricted to the
+   modules actually loaded *)
+let reachable_modules (mods : Cmt_load.modul list) =
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun (m : Cmt_load.modul) -> Hashtbl.replace by_name m.modname m) mods;
+  let seeds =
+    List.filter
+      (fun (m : Cmt_load.modul) ->
+        (match m.source with
+        | Some s -> in_dirs [ "lib/parallel" ] s
+        | None -> false)
+        ||
+        match m.structure with
+        | Some str -> Rules.references_pool_tasks str
+        | None -> false)
+      mods
+  in
+  let reachable = Hashtbl.create 64 in
+  (* dune's generated wrapped-library alias module imports every sibling
+     of its library; expanding through it would pull a whole library into
+     the closure because one of its modules is. The alias carries no code
+     of its own, so mark it but follow real modules only. *)
+  let is_generated_alias (m : Cmt_load.modul) =
+    match m.source with
+    | Some s -> Filename.check_suffix s ".ml-gen"
+    | None -> true
+  in
+  let rec visit name =
+    if not (Hashtbl.mem reachable name) then begin
+      match Hashtbl.find_opt by_name name with
+      | None -> ()
+      | Some (m : Cmt_load.modul) ->
+        Hashtbl.replace reachable name ();
+        if not (is_generated_alias m) then List.iter visit m.imports
+    end
+  in
+  List.iter (fun (m : Cmt_load.modul) -> visit m.modname) seeds;
+  reachable
+
+let run config =
+  let mods = Cmt_load.scan ~root:config.root in
+  let reachable = reachable_modules mods in
+  let findings = ref [] and waived = ref [] in
+  let checked = ref 0 in
+  List.iter
+    (fun (m : Cmt_load.modul) ->
+      match (m.structure, m.source) with
+      | Some str, Some source ->
+        incr checked;
+        let scope =
+          {
+            Rules.parallel_reachable =
+              config.assume_parallel || Hashtbl.mem reachable m.modname;
+            in_obs = in_dirs config.obs_dirs source;
+            in_costing = in_dirs config.costing_dirs source;
+            in_intdiv = in_dirs config.intdiv_dirs source;
+            in_core = in_dirs config.core_dirs source;
+          }
+        in
+        let found = Rules.check scope str in
+        if found <> [] then begin
+          let w = Waiver.load (Filename.concat config.src_root source) in
+          List.iter
+            (fun (f : Finding.t) ->
+              if Waiver.covers w ~rule:f.rule ~line:f.line then
+                waived := f :: !waived
+              else findings := f :: !findings)
+            found
+        end
+      | _ -> ())
+    mods;
+  {
+    findings = List.sort Finding.compare !findings;
+    waived = List.sort Finding.compare !waived;
+    modules_checked = !checked;
+    parallel_reachable =
+      Hashtbl.fold (fun k () acc -> k :: acc) reachable []
+      |> List.sort String.compare;
+  }

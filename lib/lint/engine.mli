@@ -1,0 +1,35 @@
+(** The lint engine: load cmts, compute the L1 reachability closure,
+    scope and run the rules, apply waivers.
+
+    The L1 scope is the transitive import closure of every module that
+    submits task closures to [Relax_parallel.Pool] (plus [lib/parallel]
+    itself): anything such a module can call may execute on a worker
+    domain.  Imports over-approximate calls, which is the safe direction
+    for a race detector. *)
+
+type config = {
+  root : string;  (** directory scanned (recursively) for [.cmt] files *)
+  src_root : string;
+      (** prefix against which cmt-recorded source paths resolve (for
+          reading waiver comments); [.] when running from the build root *)
+  obs_dirs : string list;  (** path fragments exempt from L4/L5 *)
+  costing_dirs : string list;  (** L3 float-comparison scope *)
+  intdiv_dirs : string list;  (** L3 int-division scope *)
+  core_dirs : string list;  (** L5 Hashtbl-iteration scope *)
+  assume_parallel : bool;
+      (** treat every module as pool-reachable (fixture testing) *)
+}
+
+val default : root:string -> config
+(** The repository layout: obs = [lib/obs], costing = [lib/core],
+    [lib/physical], [lib/check], int-division = [lib/physical], core =
+    [lib/core]; [src_root = "."]. *)
+
+type result = {
+  findings : Finding.t list;  (** unwaived, sorted by position *)
+  waived : Finding.t list;  (** suppressed by inline waivers *)
+  modules_checked : int;
+  parallel_reachable : string list;  (** module names in the L1 closure *)
+}
+
+val run : config -> result

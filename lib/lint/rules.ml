@@ -1,0 +1,325 @@
+(** Rule implementations over the Typedtree (see the interface for the
+    rule catalogue).  Identifiers are matched by path suffix, so local
+    module aliases ([module O = Relax_optimizer]) are seen through. *)
+
+type scope = {
+  parallel_reachable : bool;
+  in_obs : bool;
+  in_costing : bool;
+  in_intdiv : bool;
+  in_core : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* path and type helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* [Path.name p] is ["Stdlib.Hashtbl.create"], ["Obs.Recorder.ambient"],
+   ... — match the meaningful tail so aliases don't hide a use *)
+let path_is p suffixes =
+  let name = Path.name p in
+  List.exists
+    (fun suffix -> name = suffix || ends_with ~suffix:("." ^ suffix) name)
+    suffixes
+
+let head_constr ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some p
+  | _ -> None
+
+let is_float ty =
+  match head_constr ty with
+  | Some p -> Path.same p Predef.path_float
+  | None -> false
+
+let is_int ty =
+  match head_constr ty with
+  | Some p -> Path.same p Predef.path_int
+  | None -> false
+
+(* first parameter type of a (possibly partially generalized) arrow *)
+let arrow_arg ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* L1: module-level mutable state                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mutable_container ty =
+  match head_constr ty with
+  | None -> None
+  | Some p ->
+    if Path.same p Predef.path_array then Some "array"
+    else if Path.same p Predef.path_bytes then Some "bytes"
+    else if path_is p [ "ref" ] then Some "ref"
+    else if path_is p [ "Hashtbl.t" ] then Some "Hashtbl.t"
+    else if path_is p [ "Buffer.t" ] then Some "Buffer.t"
+    else if path_is p [ "Queue.t" ] then Some "Queue.t"
+    else if path_is p [ "Stack.t" ] then Some "Stack.t"
+    else if path_is p [ "Random.State.t" ] then Some "Random.State.t"
+    else None
+
+(* bindings whose value is itself a synchronization device *)
+let synchronized ty =
+  match head_constr ty with
+  | Some p ->
+    path_is p [ "Atomic.t"; "Mutex.t"; "Condition.t"; "Semaphore.Counting.t" ]
+  | None -> false
+
+let rhs_head (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> Some p
+  | _ -> None
+
+let check_l1 (str : Typedtree.structure) =
+  List.concat_map
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+        List.filter_map
+          (fun (vb : Typedtree.value_binding) ->
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (_, name) -> (
+              let ty = vb.vb_pat.pat_type in
+              if synchronized ty then None
+              else
+                match mutable_container ty with
+                | None -> None
+                | Some kind ->
+                  let allowed =
+                    match rhs_head vb.vb_expr with
+                    | Some p -> path_is p [ "Atomic.make" ]
+                    | None -> false
+                  in
+                  if allowed then None
+                  else
+                    Some
+                      (Finding.of_loc ~rule:"L1"
+                         ~message:
+                           (Printf.sprintf
+                              "module-level mutable %s `%s` in a module \
+                               reachable from Relax_parallel.Pool task \
+                               closures"
+                              kind name.txt)
+                         ~suggestion:
+                           "use Atomic.t, guard every access with a Mutex \
+                            (and waive with a reason), or move the state \
+                            into per-call scope"
+                         vb.vb_loc))
+            | _ -> None)
+          vbs
+      | _ -> [])
+    str.str_items
+
+(* ------------------------------------------------------------------ *)
+(* expression-level rules (L2–L5), one traversal                       *)
+(* ------------------------------------------------------------------ *)
+
+let comparison_ops = [ "Stdlib.="; "Stdlib.=="; "Stdlib.<>"; "Stdlib.!=" ]
+let compare_fns = [ "Stdlib.compare"; "compare" ]
+
+let check_expressions scope (str : Typedtree.structure) =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* ident locations already reported as part of an enclosing application,
+     so the bare-ident checks below don't double-report the head *)
+  let handled_heads = Hashtbl.create 16 in
+  let op_name p =
+    let n = Path.name p in
+    match String.rindex_opt n '.' with
+    | Some i -> String.sub n (i + 1) (String.length n - i - 1)
+    | None -> n
+  in
+  let explicit_args args =
+    List.filter_map (fun (_, a) -> a) args
+    |> List.map (fun (a : Typedtree.expression) -> a.exp_type)
+  in
+  let check_apply (e : Typedtree.expression) head args =
+    match head.Typedtree.exp_desc with
+    | Texp_ident (p, _, _) ->
+      let arg_types = explicit_args args in
+      (* L3a: polymorphic comparison at type float *)
+      if
+        scope.in_costing
+        && (List.exists (fun n -> Path.name p = n) comparison_ops
+           || path_is p compare_fns)
+        && List.exists is_float arg_types
+      then begin
+        Hashtbl.replace handled_heads head.exp_loc ();
+        add
+          (Finding.of_loc ~rule:"L3"
+             ~message:
+               (Printf.sprintf
+                  "polymorphic `%s` applied at type float; cost/size \
+                   comparisons need an explicit tolerance"
+                  (op_name p))
+             ~suggestion:
+               "compare through Cost_bound.float_eq / float_leq / float_lt"
+             e.exp_loc)
+      end;
+      (* L3b: int-truncating division in page/byte arithmetic code *)
+      if
+        scope.in_intdiv
+        && Path.name p = "Stdlib./"
+        && List.exists is_int arg_types
+      then
+        add
+          (Finding.of_loc ~rule:"L3"
+             ~message:
+               "int-truncating `/` in page/byte arithmetic; truncation \
+                here understates sizes (the bug class behind the \
+                leaf_pages fix)"
+             ~suggestion:
+               "do the arithmetic in float and round explicitly \
+                (Float.floor / Float.ceil), as in Size_model"
+             e.exp_loc)
+    | _ -> ()
+  in
+  let check_ident (e : Typedtree.expression) p =
+    if Hashtbl.mem handled_heads e.exp_loc then ()
+    else begin
+      (* L3a': compare instantiated at float and passed as an argument
+         (e.g. [List.sort compare costs]) *)
+      (if scope.in_costing && path_is p compare_fns then
+         match arrow_arg e.exp_type with
+         | Some a when is_float a ->
+           add
+             (Finding.of_loc ~rule:"L3"
+                ~message:
+                  "polymorphic `compare` instantiated at type float; \
+                   cost/size ordering needs an explicit tolerance"
+                ~suggestion:"use Float.compare or a Cost_bound helper"
+                e.exp_loc)
+         | _ -> ());
+      (* L4: ambient recorder slot accessed outside lib/obs *)
+      if
+        (not scope.in_obs)
+        && path_is p [ "Recorder.ambient"; "Recorder.current" ]
+      then
+        add
+          (Finding.of_loc ~rule:"L4"
+             ~message:
+               "direct access to the ambient recorder slot outside lib/obs"
+             ~suggestion:
+               "instrument through Relax_obs.Probe (Probe.count, \
+                Probe.span, Probe.emit); only the obs layer reads the \
+                ambient slot"
+             e.exp_loc);
+      (* L5: nondeterminism sources *)
+      if path_is p [ "Random.self_init" ] then
+        add
+          (Finding.of_loc ~rule:"L5"
+             ~message:
+               "Random.self_init seeds from the environment; results \
+                would differ run to run"
+             ~suggestion:
+               "thread an explicit seed (cf. Search.options.selection \
+                Random seed)"
+             e.exp_loc);
+      if
+        (not scope.in_obs)
+        && path_is p [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+      then
+        add
+          (Finding.of_loc ~rule:"L5"
+             ~message:"wall-clock read outside lib/obs"
+             ~suggestion:
+               "route timing through Relax_obs (Probe.span / Recorder), \
+                or waive with a reason if the value never influences \
+                search decisions"
+             e.exp_loc);
+      if
+        scope.in_core
+        && path_is p [ "Hashtbl.fold"; "Hashtbl.iter" ]
+      then
+        add
+          (Finding.of_loc ~rule:"L5"
+             ~message:
+               "Hashtbl iteration order is unspecified and may feed \
+                candidate ordering"
+             ~suggestion:
+               "iterate over an explicitly sorted key list (or waive \
+                with a reason when the result is order-insensitive)"
+             e.exp_loc)
+    end
+  in
+  let check_try (cases : Typedtree.value Typedtree.case list) =
+    List.iter
+      (fun (case : Typedtree.value Typedtree.case) ->
+        match case.c_lhs.pat_desc with
+        | Tpat_any ->
+          add
+            (Finding.of_loc ~rule:"L2"
+               ~message:
+                 "catch-all `with _ ->` swallows every exception, \
+                  including the ones Pool.map must re-raise in index \
+                  order"
+               ~suggestion:
+                 "match the specific exceptions expected here (or waive \
+                  with a reason at a boundary that must not throw)"
+               case.c_lhs.pat_loc)
+        | Tpat_var (id, _) -> (
+          match case.c_rhs.exp_desc with
+          | Texp_apply
+              ( { exp_desc = Texp_ident (p, _, _); _ },
+                [ (_, Some { exp_desc = Texp_ident (Path.Pident arg, _, _); _ })
+                ] )
+            when path_is p [ "ignore" ] && Ident.same id arg ->
+            add
+              (Finding.of_loc ~rule:"L2"
+                 ~message:"`with e -> ignore e` discards the exception"
+                 ~suggestion:
+                   "handle or re-raise; if the site really must be \
+                    silent, waive with a reason"
+                 case.c_lhs.pat_loc)
+          | _ -> ())
+        | _ -> ())
+      cases
+  in
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub (e : Typedtree.expression) ->
+          (match e.exp_desc with
+          | Texp_apply (head, args) -> check_apply e head args
+          | Texp_ident (p, _, _) -> check_ident e p
+          | Texp_try (_, cases) -> check_try cases
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  iter.structure iter str;
+  List.rev !findings
+
+let check scope str =
+  let l1 = if scope.parallel_reachable then check_l1 str else [] in
+  List.sort Finding.compare (l1 @ check_expressions scope str)
+
+(* ------------------------------------------------------------------ *)
+(* reachability seed                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let references_pool_tasks (str : Typedtree.structure) =
+  let found = ref false in
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub (e : Typedtree.expression) ->
+          (match e.exp_desc with
+          | Texp_ident (p, _, _)
+            when path_is p [ "Pool.map"; "Pool.create" ] ->
+            found := true
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  iter.structure iter str;
+  !found

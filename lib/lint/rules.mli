@@ -1,0 +1,44 @@
+(** The five relax-lint rules, run over one module's {!Typedtree}.
+
+    - {b L1 domain-safety}: module-level mutable state ([ref], [Hashtbl.t],
+      [Buffer.t], [Queue.t], [Stack.t], [array], [bytes], [Random.State.t])
+      in a module reachable from [Relax_parallel.Pool] task closures, unless
+      the binding is an [Atomic.t] or a synchronization primitive.  The
+      analysis is value-binding based: mutable fields of records created at
+      run time are out of scope (the runtime differential checker and the
+      TSan CI job cover those dynamically).
+    - {b L2 exception hygiene}: [try ... with _ ->] catch-alls and
+      [with e -> ignore e] handlers.  A swallowed exception inside a pool
+      task would break the order-preserving smallest-index-exception
+      contract of [Pool.map].
+    - {b L3 costing hygiene}: polymorphic [=], [==], [<>], [!=] or
+      [compare] applied (or instantiated) at type [float] inside the
+      costing layers, and [int]-truncating [/] inside page/byte arithmetic
+      code.  Cost and size comparisons must go through
+      [Cost_bound.float_eq]/[float_leq].
+    - {b L4 observability discipline}: reads of the ambient recorder slot
+      ([Recorder.ambient]/[Recorder.current]) outside [lib/obs]; deep
+      layers must go through [Probe] (installation via
+      [Recorder.with_ambient] is allowed).
+    - {b L5 determinism}: [Random.self_init] anywhere; wall-clock reads
+      ([Unix.gettimeofday], [Unix.time], [Sys.time]) outside [lib/obs];
+      [Hashtbl.fold]/[Hashtbl.iter] inside the search core, where
+      unspecified iteration order can leak into candidate ordering and
+      break the jobs-invariant bit-identical-results guarantee. *)
+
+(** Which rule scopes apply to the module under analysis (decided by the
+    engine from the module's source path and the reachability closure). *)
+type scope = {
+  parallel_reachable : bool;  (** L1 applies *)
+  in_obs : bool;  (** L4/L5 exemptions *)
+  in_costing : bool;  (** L3 float-comparison scope *)
+  in_intdiv : bool;  (** L3 int-division scope *)
+  in_core : bool;  (** L5 Hashtbl-iteration scope *)
+}
+
+val check : scope -> Typedtree.structure -> Finding.t list
+(** All findings of all rules for one module, in source order. *)
+
+val references_pool_tasks : Typedtree.structure -> bool
+(** Does the module submit task closures to [Relax_parallel.Pool]
+    ([Pool.map] or [Pool.create])?  Seeds the L1 reachability closure. *)

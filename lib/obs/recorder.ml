@@ -88,6 +88,9 @@ let snapshot t = Metrics.snapshot t.metrics ~spans:(span_stats t)
 let current : t option Atomic.t = Atomic.make None
 let ambient () = Atomic.get current
 
+let inherit_or_create ?sink () =
+  match ambient () with Some r -> r | None -> create ?sink ()
+
 let with_ambient t f =
   let old = Atomic.get current in
   Atomic.set current (Some t);

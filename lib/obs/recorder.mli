@@ -36,3 +36,9 @@ val with_ambient : t -> (unit -> 'a) -> 'a
     (restoring the previous one on exit, exception-safe). *)
 
 val ambient : unit -> t option
+
+val inherit_or_create : ?sink:Trace.sink -> unit -> t
+(** The ambient recorder when one is installed, else a fresh recorder
+    (with [sink] when given).  This is the sanctioned way for an
+    entry-point layer to adopt a caller's recorder: reading the ambient
+    slot directly outside [lib/obs] is flagged by relax-lint rule L4. *)

@@ -54,8 +54,10 @@ let worker t i () =
     else begin
       let task = Queue.pop t.queue in
       Mutex.unlock t.lock;
+      (* relax-lint: allow L5 per-worker busy-time accounting only *)
       let t0 = Unix.gettimeofday () in
       task ();
+      (* relax-lint: allow L5 per-worker busy-time accounting only *)
       let dt = Unix.gettimeofday () -. t0 in
       Mutex.lock t.lock;
       t.busy.(i) <- t.busy.(i) +. dt;

@@ -7,7 +7,11 @@
 
 open Relax_sql.Types
 
-let index_name_counter = ref 0
+(* Atomic so concurrent renderings (e.g. from pool workers reporting
+   in parallel) cannot tear the counter; each script rendering resets it,
+   so scripts stay deterministically numbered when rendered one at a
+   time, which is how every current caller uses them. *)
+let index_name_counter = Atomic.make 0
 
 (* deterministic, human-readable object names *)
 let sanitize s =
@@ -19,12 +23,12 @@ let sanitize s =
     s
 
 let index_ddl_name (i : Index.t) =
-  incr index_name_counter;
+  let n = Atomic.fetch_and_add index_name_counter 1 + 1 in
   Fmt.str "%s_%s_%s%d"
     (if i.clustered then "cix" else "ix")
     (sanitize (Index.owner i))
     (sanitize (String.concat "_" (List.map (fun (c : column) -> c.col) i.keys)))
-    !index_name_counter
+    n
 
 let pp_index ppf (i : Index.t) =
   let keys =
@@ -46,7 +50,7 @@ let pp_view ppf (v : View.t) =
 (** The full deployment script for a configuration: views first (their
     indexes depend on them), then all indexes. *)
 let pp_config ppf (config : Config.t) =
-  index_name_counter := 0;
+  Atomic.set index_name_counter 0;
   Fmt.pf ppf "@[<v>";
   List.iter (fun v -> Fmt.pf ppf "%a@,@," pp_view v) (Config.views config);
   List.iter (fun i -> Fmt.pf ppf "%a@," pp_index i) (Config.indexes config);
@@ -56,7 +60,7 @@ let to_string config = Fmt.str "%a" pp_config config
 
 (** The tear-down script (inverse order). *)
 let pp_drop ppf (config : Config.t) =
-  index_name_counter := 0;
+  Atomic.set index_name_counter 0;
   Fmt.pf ppf "@[<v>";
   List.iter
     (fun i -> Fmt.pf ppf "DROP INDEX %s;@," (index_ddl_name i))

@@ -1,0 +1,5 @@
+(* Clean fixture: float arithmetic and rounding done the sanctioned way —
+   no raw comparisons, no truncating division, no ambient access. *)
+
+let combine a b = a +. b
+let pages bytes = Float.to_int (Float.ceil (bytes /. 4096.0))

@@ -1,0 +1,5 @@
+(* L3 fixture: a raw float comparison and an int-truncating division in
+   what the test config declares to be costing / page-arithmetic scope. *)
+
+let same_cost (a : float) (b : float) = a = b
+let pages (bytes : int) = bytes / 4096

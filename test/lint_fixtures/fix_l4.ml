@@ -1,0 +1,3 @@
+(* L4 fixture: reading the ambient recorder slot outside lib/obs. *)
+
+let recorder () = Relax_obs.Recorder.ambient ()

@@ -1,0 +1,5 @@
+(* L5 fixture: every nondeterminism source the rule knows about. *)
+
+let seed () = Random.self_init ()
+let stamp () = Unix.gettimeofday ()
+let total (h : (string, int) Hashtbl.t) = Hashtbl.fold (fun _ v acc -> v + acc) h 0

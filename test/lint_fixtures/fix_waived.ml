@@ -1,0 +1,4 @@
+(* Waived fixture: the finding below is real but suppressed inline. *)
+
+(* relax-lint: allow L5 fixture exercising the waiver mechanism itself *)
+let stamp () = Unix.gettimeofday ()

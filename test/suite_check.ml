@@ -371,6 +371,23 @@ let test_drift_bucketing () =
   Alcotest.(check int) ">=10" 1 (get ">=10");
   Alcotest.(check int) "non-finite" 1 (get "non-finite")
 
+(* bound-vs-whatif comparisons go through the Cost_bound epsilon
+   helpers: a bound within relative [bound_epsilon] of the re-optimized
+   cost must not surface as a spurious check.violation, while a genuine
+   violation still must *)
+let test_bound_epsilon_tolerance () =
+  let tol = C.Checker.default_tolerances in
+  Alcotest.(check bool) "dominating bound ok" true
+    (C.Checker.bound_ok tol ~bound:101.0 ~actual:100.0);
+  Alcotest.(check bool) "exactly-met bound ok" true
+    (C.Checker.bound_ok tol ~bound:100.0 ~actual:100.0);
+  Alcotest.(check bool) "within-epsilon accumulation noise ok" true
+    (C.Checker.bound_ok tol ~bound:(100.0 *. (1.0 -. 1e-8)) ~actual:100.0);
+  Alcotest.(check bool) "violation at scale reported" false
+    (C.Checker.bound_ok tol ~bound:99.0 ~actual:100.0);
+  Alcotest.(check bool) "violation near zero reported" false
+    (C.Checker.bound_ok tol ~bound:0.0 ~actual:1e-3)
+
 (* end to end: a checked tuning run on the small catalog reports zero
    violations and visits every iteration *)
 let test_checked_run_clean () =
@@ -452,6 +469,8 @@ let suite =
       test_bound_survives_swapped_merge;
     Alcotest.test_case "access cardinality path-independent" `Quick
       test_access_cardinality_path_independent;
+    Alcotest.test_case "bound: epsilon tolerance" `Quick
+      test_bound_epsilon_tolerance;
     Alcotest.test_case "checker: clean run" `Quick test_checked_run_clean;
     Alcotest.test_case "checker: no metric pollution" `Quick
       test_checker_does_not_pollute_metrics;

@@ -1,0 +1,144 @@
+(** Tests for the relax-lint static-analysis pass (lib/lint): each
+    fixture module under [test/lint_fixtures/] seeds exactly one rule,
+    the clean fixture seeds none, the waived fixture's finding is
+    suppressed by its inline comment — and the shipped [lib/] tree
+    itself lints clean under the repository configuration. *)
+
+module Lint = Relax_lint
+
+(* Anchor every path to the test binary's own directory
+   ([_build/default/test]) so the suite works both under [dune runtest]
+   (cwd = that directory) and [dune exec] (cwd = the invocation dir).
+   Fixture cmts sit right below it, the repository's below [../lib], and
+   cmt-recorded source paths ("test/lint_fixtures/fix_l1.ml",
+   "lib/core/search.ml") resolve against the build root [..]. *)
+let test_dir =
+  let exe = Sys.executable_name in
+  let exe =
+    if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+    else exe
+  in
+  Filename.dirname exe
+
+let build_root = Filename.concat test_dir ".."
+
+let fixture_config : Lint.Engine.config =
+  {
+    root = Filename.concat test_dir "lint_fixtures";
+    src_root = build_root;
+    obs_dirs = [ "lib/obs" ];
+    costing_dirs = [ "lint_fixtures" ];
+    intdiv_dirs = [ "lint_fixtures" ];
+    core_dirs = [ "lint_fixtures" ];
+    assume_parallel = false;
+  }
+
+let fixture_result = lazy (Lint.Engine.run fixture_config)
+
+let basename (f : Lint.Finding.t) = Filename.basename f.file
+let key (f : Lint.Finding.t) = Printf.sprintf "%s:%d:%s" (basename f) f.line f.rule
+
+let in_file name (fs : Lint.Finding.t list) =
+  List.filter (fun f -> basename f = name) fs
+
+let check_findings fixture expected =
+  let r = Lazy.force fixture_result in
+  Alcotest.(check (list string))
+    fixture expected
+    (List.map key (in_file fixture r.findings))
+
+let test_l1 () = check_findings "fix_l1.ml" [ "fix_l1.ml:5:L1" ]
+let test_l2 () = check_findings "fix_l2.ml" [ "fix_l2.ml:3:L2" ]
+let test_l3 () = check_findings "fix_l3.ml" [ "fix_l3.ml:4:L3"; "fix_l3.ml:5:L3" ]
+let test_l4 () = check_findings "fix_l4.ml" [ "fix_l4.ml:3:L4" ]
+
+let test_l5 () =
+  check_findings "fix_l5.ml"
+    [ "fix_l5.ml:3:L5"; "fix_l5.ml:4:L5"; "fix_l5.ml:5:L5" ]
+
+let test_clean () = check_findings "fix_clean.ml" []
+
+let test_waived () =
+  let r = Lazy.force fixture_result in
+  check_findings "fix_waived.ml" [];
+  Alcotest.(check (list string))
+    "waived" [ "fix_waived.ml:4:L5" ]
+    (List.map key (in_file "fix_waived.ml" r.waived))
+
+(* the Pool.map reference in fix_l1 seeds the reachability closure with
+   that module alone; without it L1 must not fire at all *)
+let test_reachability () =
+  let r = Lazy.force fixture_result in
+  Alcotest.(check bool)
+    "fix_l1 in closure" true
+    (List.exists
+       (fun m -> Filename.check_suffix m "Fix_l1")
+       r.parallel_reachable);
+  Alcotest.(check bool)
+    "fix_l5 not in closure" false
+    (List.exists
+       (fun m -> Filename.check_suffix m "Fix_l5")
+       r.parallel_reachable)
+
+(* with [assume_parallel] every module counts as pool-reachable, so the
+   same L1 fixture still fires without its Pool.map seed being found *)
+let test_assume_parallel () =
+  let r = Lint.Engine.run { fixture_config with assume_parallel = true } in
+  Alcotest.(check (list string))
+    "fix_l1.ml" [ "fix_l1.ml:5:L1" ]
+    (List.map key (in_file "fix_l1.ml" r.findings))
+
+(* the acceptance gate: the shipped library tree has no unwaived
+   findings under the repository scopes *)
+let test_repo_clean () =
+  let config =
+    {
+      (Lint.Engine.default ~root:(Filename.concat build_root "lib")) with
+      src_root = build_root;
+    }
+  in
+  let r = Lint.Engine.run config in
+  Alcotest.(check (list string))
+    "lib/ findings" []
+    (List.map (fun (f : Lint.Finding.t) -> key f) r.findings);
+  Alcotest.(check bool) "modules loaded" true (r.modules_checked > 50)
+
+let test_finding_json () =
+  let f =
+    Lint.Finding.
+      {
+        rule = "L3";
+        file = "lib/core/search.ml";
+        line = 42;
+        col = 7;
+        message = "m";
+        suggestion = "s";
+      }
+  in
+  match Relax_obs.Json.of_string (Relax_obs.Json.to_string (Lint.Finding.to_json f)) with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok (Relax_obs.Json.Obj fields) ->
+    let str k =
+      match List.assoc_opt k fields with
+      | Some (Relax_obs.Json.String s) -> s
+      | _ -> Alcotest.failf "missing string field %s" k
+    in
+    Alcotest.(check string) "event" "lint.finding" (str "event");
+    Alcotest.(check string) "rule" "L3" (str "rule");
+    Alcotest.(check string) "file" "lib/core/search.ml" (str "file")
+  | Ok _ -> Alcotest.fail "expected an object"
+
+let suite =
+  [
+    Alcotest.test_case "fixture: L1 mutable state" `Quick test_l1;
+    Alcotest.test_case "fixture: L2 exception hygiene" `Quick test_l2;
+    Alcotest.test_case "fixture: L3 costing hygiene" `Quick test_l3;
+    Alcotest.test_case "fixture: L4 ambient access" `Quick test_l4;
+    Alcotest.test_case "fixture: L5 nondeterminism" `Quick test_l5;
+    Alcotest.test_case "fixture: clean module" `Quick test_clean;
+    Alcotest.test_case "fixture: inline waiver" `Quick test_waived;
+    Alcotest.test_case "reachability closure" `Quick test_reachability;
+    Alcotest.test_case "assume-parallel scope" `Quick test_assume_parallel;
+    Alcotest.test_case "repository lib/ lints clean" `Quick test_repo_clean;
+    Alcotest.test_case "finding JSONL schema" `Quick test_finding_json;
+  ]

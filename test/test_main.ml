@@ -13,5 +13,6 @@ let () =
       ("costing", Suite_costing.suite);
       ("engine", Suite_engine.suite);
       ("check", Suite_check.suite);
+      ("lint", Suite_lint.suite);
       ("integration", Suite_integration.suite);
     ]
