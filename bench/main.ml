@@ -24,7 +24,7 @@ let section title expectation =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=');
   Printf.printf "paper expectation: %s\n\n" expectation
 
-let now () = Unix.gettimeofday ()
+let now () = Relax_obs.Clock.now ()
 
 (* experiment-wide defaults, chosen so `all` completes in minutes *)
 let tpch_scale = 0.02
@@ -37,6 +37,10 @@ let bench_db = lazy (W.Bench_db.schema ~scale:0.02 ())
 
 (* --jobs N (parsed below); absent = RELAX_JOBS or the domain count *)
 let jobs_flag = ref None
+
+(* --profile[=FILE]: run every experiment under a profiling recorder and
+   write a Chrome trace-event file per experiment (Perfetto-loadable) *)
+let profile_flag = ref None
 
 let effective_jobs () =
   match !jobs_flag with
@@ -673,6 +677,22 @@ let parallel_sweep () =
         (e1 /. Float.max 1e-9 e))
     runs;
   Printf.printf "identical tuning output across jobs: %b\n" identical;
+  (* per-domain busy milliseconds, recovered from the pool.domainN.busy_ms
+     named counters the search records at shutdown *)
+  let domain_busy_ms (m : Relax_obs.Metrics.snapshot) =
+    List.filter_map
+      (fun (k, v) ->
+        match String.split_on_char '.' k with
+        | [ "pool"; dom; "busy_ms" ]
+          when String.length dom > 6 && String.sub dom 0 6 = "domain" ->
+          Option.map
+            (fun i -> (i, v))
+            (int_of_string_opt (String.sub dom 6 (String.length dom - 6)))
+        | _ -> None)
+      m.named_counters
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map snd
+  in
   let json =
     let open Relax_obs.Json in
     Obj
@@ -681,6 +701,11 @@ let parallel_sweep () =
         ("workload", String "tpch q1,3,5,6,10,12,14,15");
         ("budget_bytes", Float budget);
         ("identical_results", Bool identical);
+        (* environment self-description: a 1-core container showing no
+           speedup is expected, and the numbers below say so *)
+        ( "recommended_domain_count",
+          Int (Domain.recommended_domain_count ()) );
+        ("effective_jobs", Int requested);
         ( "runs",
           List
             (List.map
@@ -699,6 +724,14 @@ let parallel_sweep () =
                      ("recommended_fingerprint", String (fp r));
                      ("what_if_calls", Int m.what_if_calls);
                      ("cache_hits", Int m.cache_hits);
+                     ( "busy_ms",
+                       List (List.map (fun v -> Int v) (domain_busy_ms m)) );
+                     ( "latency",
+                       Obj
+                         (List.map
+                            (fun (k, h) ->
+                              (k, Relax_obs.Histogram.to_json h))
+                            m.latency) );
                    ])
                runs) );
       ]
@@ -806,12 +839,28 @@ let experiments =
 
 (* Run one experiment under its own recorder so its metrics snapshot can be
    reported separately; every tuner call inside inherits the ambient
-   recorder. *)
-let run_instrumented name f =
-  let recorder = Relax_obs.Recorder.create () in
+   recorder.  With --profile the recorder retains the span tree and
+   counter samples, written per experiment as a Chrome trace. *)
+let profile_path base name ~single =
+  if single then base
+  else
+    Filename.remove_extension base ^ "." ^ name ^ Filename.extension base
+
+let run_instrumented ~single name f =
+  let profiling = !profile_flag <> None in
+  let recorder = Relax_obs.Recorder.create ~profile:profiling () in
   let t0 = now () in
   Relax_obs.Recorder.with_ambient recorder f;
   let elapsed = now () -. t0 in
+  (match !profile_flag with
+  | None -> ()
+  | Some base -> (
+    let path = profile_path base name ~single in
+    try
+      Relax_obs.Chrome.write recorder path;
+      Printf.printf "profile trace written to %s (open in ui.perfetto.dev)\n"
+        path
+    with Sys_error msg -> Printf.eprintf "cannot write %s: %s\n" path msg));
   (name, elapsed, Relax_obs.Recorder.snapshot recorder)
 
 let results_json ~total_elapsed results =
@@ -870,6 +919,13 @@ let () =
     | "--validate" :: rest ->
       validate_flag := true;
       parse acc rest
+    | "--profile" :: rest ->
+      profile_flag := Some "bench-profile.json";
+      parse acc rest
+    | arg :: rest
+      when String.length arg > 10 && String.sub arg 0 10 = "--profile=" ->
+      profile_flag := Some (String.sub arg 10 (String.length arg - 10));
+      parse acc rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
       ->
       set_jobs (String.sub arg 7 (String.length arg - 7));
@@ -912,7 +968,8 @@ let () =
             exit 1)
         names
   in
-  let results = List.map (fun (n, f) -> run_instrumented n f) to_run in
+  let single = List.length to_run = 1 in
+  let results = List.map (fun (n, f) -> run_instrumented ~single n f) to_run in
   let total = now () -. t0 in
   (match !json_path with
   | None -> ()

@@ -1,0 +1,52 @@
+(** [perfdiff] — compare two bench JSON outputs against relative
+    thresholds.
+
+    {v
+    perfdiff [--counter-tolerance F] [--time-tolerance F] BASELINE CURRENT
+    v}
+
+    Both files use the [BENCH_parallel.json] schema written by
+    [bench/main.exe micro]; runs are matched by their [jobs] field.
+    Work counters (what-if calls, cache hits, configurations evaluated)
+    are checked against [--counter-tolerance] (default 0.10 = 10 %),
+    wall-clock metrics (elapsed, throughput) against [--time-tolerance]
+    (default 0.50 = 50 %).
+
+    Exit codes: 0 = all metrics within thresholds, 1 = at least one
+    regression, 2 = malformed or missing input (unreadable file, parse
+    error, no runs, mismatched run sets).  CI soft-fails on 1 and
+    hard-fails on 2. *)
+
+let usage = "perfdiff [--counter-tolerance F] [--time-tolerance F] BASELINE CURRENT"
+
+let () =
+  let counter_tol = ref 0.10 in
+  let time_tol = ref 0.50 in
+  let files = ref [] in
+  let spec =
+    [
+      ( "--counter-tolerance",
+        Arg.Set_float counter_tol,
+        "F relative tolerance for work counters (default 0.10)" );
+      ( "--time-tolerance",
+        Arg.Set_float time_tol,
+        "F relative tolerance for wall-clock metrics (default 0.50)" );
+    ]
+  in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  match List.rev !files with
+  | [ baseline; current ] ->
+    let result =
+      Relax_obs.Perfdiff.compare_files ~counter_tol:!counter_tol
+        ~time_tol:!time_tol ~baseline ~current ()
+    in
+    (match result with
+    | Error msg -> Printf.eprintf "perfdiff: malformed input: %s\n" msg
+    | Ok { lines; regressions } ->
+      List.iter print_endline lines;
+      Printf.printf "%d metric(s) compared, %d regression(s)\n"
+        (List.length lines) (List.length regressions));
+    exit (Relax_obs.Perfdiff.exit_code result)
+  | _ ->
+    prerr_endline usage;
+    exit 2

@@ -61,7 +61,8 @@ let load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
 
 let run db scale schema_file queries file generate seed updates tool mode
     budget_mb iterations time_s jobs ddl do_compress explain analyze verbose
-    log_level trace_file metrics frontier_csv_file check check_jsonl =
+    log_level trace_file trace_chrome_file metrics frontier_csv_file check
+    check_jsonl =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else log_level);
   let catalog, workload =
@@ -123,7 +124,11 @@ let run db scale schema_file queries file generate seed updates tool mode
         (fun p -> open_out_checked ~what:"trace" p Relax_obs.Trace.file)
         trace_file
     in
-    let obs = Relax_obs.Recorder.create ?sink () in
+    let obs =
+      Relax_obs.Recorder.create ?sink
+        ~profile:(trace_chrome_file <> None)
+        ()
+    in
     let r =
       Fun.protect
         ~finally:(fun () -> Option.iter Relax_obs.Trace.close sink)
@@ -132,6 +137,12 @@ let run db scale schema_file queries file generate seed updates tool mode
     Option.iter
       (fun path -> Fmt.pr "trace written to %s@." path)
       trace_file;
+    Option.iter
+      (fun path ->
+        open_out_checked ~what:"chrome trace" path (fun path ->
+            Relax_obs.Chrome.write obs path);
+        Fmt.pr "chrome trace written to %s (open in ui.perfetto.dev)@." path)
+      trace_chrome_file;
     Fmt.pr "@.%a@." T.Report.pp_summary r;
     Option.iter
       (fun c ->
@@ -388,6 +399,18 @@ let trace_file =
            cost/size and the cost-bound drift ratio, plus one event per \
            what-if optimizer call.")
 
+let trace_chrome_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-chrome" ] ~docv:"FILE.json"
+        ~doc:
+          "Write a Chrome trace-event profile of the run (ptt only): the \
+           hierarchical span tree on per-domain thread tracks plus \
+           counter tracks for what-if calls and latency, per-shard cache \
+           hits/misses, frontier size, pool queue depth and GC heap \
+           words.  Open the file directly in https://ui.perfetto.dev.")
+
 let metrics =
   Arg.(
     value & flag
@@ -442,6 +465,7 @@ let cmd =
       const run $ db $ scale $ schema_file $ queries $ file $ generate
       $ seed $ updates $ tool $ mode $ budget_mb $ iterations $ time_s
       $ jobs $ ddl $ do_compress $ explain $ analyze $ verbose $ log_level
-      $ trace_file $ metrics $ frontier_csv_file $ check $ check_jsonl)
+      $ trace_file $ trace_chrome_file $ metrics $ frontier_csv_file $ check
+      $ check_jsonl)
 
 let () = exit (Cmd.eval cmd)

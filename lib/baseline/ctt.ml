@@ -167,8 +167,7 @@ let merge_pass catalog (cands : Candidate.t list) : Candidate.t list =
 (** Run the bottom-up baseline on a workload. *)
 let tune (catalog : Catalog.t) (workload : Query.workload) (opts : options) :
     result =
-  (* relax-lint: allow L5 reported elapsed_s, never a tuning decision *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Relax_obs.Clock.now () in
   let whatif = O.Whatif.create catalog in
   let selects =
     List.filter_map
@@ -262,6 +261,5 @@ let tune (catalog : Catalog.t) (workload : Query.workload) (opts : options) :
     improvement = 100.0 *. (1.0 -. (best_cost /. Float.max 1e-9 initial_cost));
     candidate_count = List.length cands;
     trace = List.rev !trace;
-    (* relax-lint: allow L5 reported elapsed_s, never a tuning decision *)
-    elapsed_s = Unix.gettimeofday () -. t0;
+    elapsed_s = Relax_obs.Clock.elapsed_s ~since:t0;
   }

@@ -831,8 +831,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       rand =
         Random.State.make
           [| (match opts.selection with Random seed -> seed | _ -> 0) |];
-      (* relax-lint: allow L5 anchor of the user-requested --time-budget *)
-      started = Unix.gettimeofday ();
+      started = Obs.Clock.now ();
     }
   in
   (* register the derived-view statistics of the two configurations the
@@ -895,15 +894,16 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
   let time_ok () =
     match opts.time_budget_s with
     | None -> true
-    (* relax-lint: allow L5 explicit user-requested wall-clock budget *)
-    | Some s -> Unix.gettimeofday () -. st.started < s
+    | Some s -> Obs.Clock.elapsed_s ~since:st.started < s
   in
   let last = ref root in
   (try
      while st.iterations < opts.max_iterations && time_ok () do
        match pick_configuration st ~last:!last with
        | None -> raise Exit
-       | Some c -> (
+       | Some c ->
+         Obs.Probe.span "search.iteration" @@ fun () ->
+         (
          ensure_candidates st c;
          st.candidates_trace <- untried_ready_count st :: st.candidates_trace;
          match pick_candidate st c with

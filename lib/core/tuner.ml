@@ -92,8 +92,7 @@ let workload_cost catalog config w =
    the metrics snapshot can be taken after the outermost span has closed. *)
 let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
     (options : options) : Relax_obs.Metrics.snapshot -> result =
-  (* relax-lint: allow L5 reported elapsed_s, never a tuning decision *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Relax_obs.Clock.now () in
   Relax_obs.Recorder.with_ambient recorder @@ fun () ->
   Relax_obs.Recorder.with_span recorder "tuner.tune" @@ fun () ->
   let views = options.mode = Indexes_and_views in
@@ -184,8 +183,7 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
       best_trace = outcome.best_trace;
       iterations = outcome.iterations;
       metrics;
-      (* relax-lint: allow L5 reported elapsed_s, never a tuning decision *)
-      elapsed_s = Unix.gettimeofday () -. t0;
+      elapsed_s = Relax_obs.Clock.elapsed_s ~since:t0;
     }
 
 (** Tune [workload] against [catalog] under [options].  The run records

@@ -222,17 +222,13 @@ let check_expressions scope (str : Typedtree.structure) =
                "thread an explicit seed (cf. Search.options.selection \
                 Random seed)"
              e.exp_loc);
-      if
-        (not scope.in_obs)
-        && path_is p [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
-      then
+      if path_is p [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ] then
         add
           (Finding.of_loc ~rule:"L5"
-             ~message:"wall-clock read outside lib/obs"
+             ~message:"wall-clock read outside Relax_obs.Clock"
              ~suggestion:
-               "route timing through Relax_obs (Probe.span / Recorder), \
-                or waive with a reason if the value never influences \
-                search decisions"
+               "route timing through Relax_obs.Clock (now / elapsed_s); \
+                the single sanctioned waiver lives inside that module"
              e.exp_loc);
       if
         scope.in_core

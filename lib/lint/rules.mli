@@ -21,7 +21,9 @@
       layers must go through [Probe] (installation via
       [Recorder.with_ambient] is allowed).
     - {b L5 determinism}: [Random.self_init] anywhere; wall-clock reads
-      ([Unix.gettimeofday], [Unix.time], [Sys.time]) outside [lib/obs];
+      ([Unix.gettimeofday], [Unix.time], [Sys.time]) anywhere — all
+      timing must route through [Relax_obs.Clock], whose implementation
+      carries the repository's single waiver;
       [Hashtbl.fold]/[Hashtbl.iter] inside the search core, where
       unspecified iteration order can leak into candidate ordering and
       break the jobs-invariant bit-identical-results guarantee. *)
@@ -30,7 +32,7 @@
     engine from the module's source path and the reachability closure). *)
 type scope = {
   parallel_reachable : bool;  (** L1 applies *)
-  in_obs : bool;  (** L4/L5 exemptions *)
+  in_obs : bool;  (** L4 exemption (the obs layer reads its own slot) *)
   in_costing : bool;  (** L3 float-comparison scope *)
   in_intdiv : bool;  (** L3 int-division scope *)
   in_core : bool;  (** L5 Hashtbl-iteration scope *)

@@ -1,0 +1,15 @@
+(** The single sanctioned wall-clock source.
+
+    All timing in the repository goes through this module: relax-lint
+    rule L5 flags any other [Unix.gettimeofday] / [Unix.time] /
+    [Sys.time] call, and the implementation carries the repository's one
+    clock waiver.  Timings are only ever {e reported} (spans, histograms,
+    elapsed fields) or compared against a user-requested wall-clock
+    budget; they never feed a tuning decision. *)
+
+val now : unit -> float
+(** Seconds since the epoch, from the best clock the stdlib offers. *)
+
+val elapsed_s : since:float -> float
+(** [elapsed_s ~since] is [now () - since] clamped to be non-negative,
+    so durations stay monotone even if the wall clock steps. *)

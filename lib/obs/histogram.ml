@@ -1,0 +1,119 @@
+(** Log-bucketed latency histograms.
+
+    Buckets are quarter-octave (each boundary is [2^0.25 ≈ 1.19] times
+    the previous), anchored at 1 µs: 128 buckets cover 1 µs to roughly
+    an hour, which spans everything from an access-path costing call to
+    a whole tuning run.  Quantiles are answered with the upper edge of
+    the bucket holding the requested rank, so they are exact to within
+    one bucket width (±19 %) — plenty for p50/p90/p99 reporting, and the
+    fixed layout makes histograms mergeable by plain bucket-wise sum. *)
+
+let bucket_count = 128
+let lo = 1e-6
+let log_step = Float.log 2.0 /. 4.0
+
+(* upper edge of bucket [i] *)
+let bound i = lo *. Float.exp (float_of_int i *. log_step)
+
+let bucket_of v =
+  if v <= lo then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log (v /. lo) /. log_step)) in
+    Int.min (bucket_count - 1) (Int.max 0 i)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable total_s : float;
+  mutable max_s : float;
+}
+
+let create () =
+  { buckets = Array.make bucket_count 0; count = 0; total_s = 0.0; max_s = 0.0 }
+
+let add t v =
+  let v = Float.max 0.0 v in
+  let i = bucket_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.count <- t.count + 1;
+  t.total_s <- t.total_s +. v;
+  t.max_s <- Float.max t.max_s v
+
+(* snapshots are immutable copies so they can outlive the accumulator
+   and merge across runs (bench aggregates, Metrics.merge) *)
+type snap = {
+  s_buckets : int array;
+  s_count : int;
+  s_total_s : float;
+  s_max_s : float;
+}
+
+let snap t =
+  {
+    s_buckets = Array.copy t.buckets;
+    s_count = t.count;
+    s_total_s = t.total_s;
+    s_max_s = t.max_s;
+  }
+
+let count (s : snap) = s.s_count
+let total_s (s : snap) = s.s_total_s
+let max_s (s : snap) = s.s_max_s
+
+let merge a b =
+  {
+    s_buckets = Array.init bucket_count (fun i -> a.s_buckets.(i) + b.s_buckets.(i));
+    s_count = a.s_count + b.s_count;
+    s_total_s = a.s_total_s +. b.s_total_s;
+    s_max_s = Float.max a.s_max_s b.s_max_s;
+  }
+
+let quantile (s : snap) q =
+  if s.s_count = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = Int.max 1 (int_of_float (Float.ceil (q *. float_of_int s.s_count))) in
+    let acc = ref 0 and result = ref (bound (bucket_count - 1)) in
+    (try
+       for i = 0 to bucket_count - 1 do
+         acc := !acc + s.s_buckets.(i);
+         if !acc >= rank then begin
+           result := bound i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* never report a quantile above the observed maximum *)
+    Float.min !result s.s_max_s
+  end
+
+type summary = {
+  h_count : int;
+  h_total_s : float;
+  h_max_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+}
+
+let summary s =
+  {
+    h_count = s.s_count;
+    h_total_s = s.s_total_s;
+    h_max_s = s.s_max_s;
+    p50_s = quantile s 0.50;
+    p90_s = quantile s 0.90;
+    p99_s = quantile s 0.99;
+  }
+
+let to_json s : Json.t =
+  let sm = summary s in
+  Obj
+    [
+      ("count", Int sm.h_count);
+      ("total_s", Float sm.h_total_s);
+      ("max_ms", Float (sm.h_max_s *. 1e3));
+      ("p50_ms", Float (sm.p50_s *. 1e3));
+      ("p90_ms", Float (sm.p90_s *. 1e3));
+      ("p99_ms", Float (sm.p99_s *. 1e3));
+    ]

@@ -17,6 +17,7 @@ type t = {
   generated : (string, int) Hashtbl.t;
   applied : (string, int) Hashtbl.t;
   counters : (string, int) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
   mutable pool_trace : int list;
 }
 
@@ -33,6 +34,7 @@ let create () =
     generated = Hashtbl.create 8;
     applied = Hashtbl.create 8;
     counters = Hashtbl.create 16;
+    histograms = Hashtbl.create 8;
     pool_trace = [];
   }
 
@@ -46,10 +48,23 @@ let add_applied t ~kind = locked t (fun () -> bump t.applied kind 1)
 let count t name n = locked t (fun () -> bump t.counters name n)
 let record_pool t n = locked t (fun () -> t.pool_trace <- n :: t.pool_trace)
 
+let observe t name seconds =
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> h
+        | None ->
+          let h = Histogram.create () in
+          Hashtbl.add t.histograms name h;
+          h
+      in
+      Histogram.add h seconds)
+
 type span_stat = {
   span_name : string;
   calls : int;
   total_s : float;
+  self_s : float;
   max_depth : int;
 }
 
@@ -66,6 +81,7 @@ type snapshot = {
   named_counters : (string * int) list;
   pool_trace : int list;
   spans : span_stat list;
+  latency : (string * Histogram.snap) list;
 }
 
 let sorted_assoc tbl =
@@ -87,6 +103,9 @@ let snapshot (t : t) ~spans : snapshot =
     named_counters = sorted_assoc t.counters;
     pool_trace = List.rev t.pool_trace;
     spans = List.sort (fun a b -> String.compare a.span_name b.span_name) spans;
+    latency =
+      Hashtbl.fold (fun k h acc -> (k, Histogram.snap h) :: acc) t.histograms []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
   }
 
 let empty_snapshot = snapshot (create ()) ~spans:[]
@@ -109,6 +128,7 @@ let merge_spans a b =
           s with
           calls = x.calls + s.calls;
           total_s = x.total_s +. s.total_s;
+          self_s = x.self_s +. s.self_s;
           max_depth = max x.max_depth s.max_depth;
         }
         :: rest
@@ -131,6 +151,14 @@ let merge (a : snapshot) (b : snapshot) : snapshot =
     named_counters = merge_assoc a.named_counters b.named_counters;
     pool_trace = a.pool_trace @ b.pool_trace;
     spans = merge_spans a.spans b.spans;
+    latency =
+      List.fold_left
+        (fun acc (k, h) ->
+          match List.assoc_opt k acc with
+          | Some h0 -> (k, Histogram.merge h0 h) :: List.remove_assoc k acc
+          | None -> (k, h) :: acc)
+        a.latency b.latency
+      |> List.sort (fun (x, _) (y, _) -> String.compare x y);
   }
 
 let merge_all = function
@@ -161,9 +189,12 @@ let to_json (s : snapshot) : Json.t =
                    ("name", String sp.span_name);
                    ("calls", Int sp.calls);
                    ("total_s", Float sp.total_s);
+                   ("self_s", Float sp.self_s);
                    ("max_depth", Int sp.max_depth);
                  ])
              s.spans) );
+      ( "latency",
+        Obj (List.map (fun (k, h) -> (k, Histogram.to_json h)) s.latency) );
     ]
 
 let pp ppf (s : snapshot) =
@@ -202,10 +233,20 @@ let pp ppf (s : snapshot) =
       s.named_counters
   end;
   if s.spans <> [] then begin
-    Fmt.pf ppf "  spans (calls, total):@,";
+    Fmt.pf ppf "  spans (calls, total, self):@,";
     List.iter
       (fun (sp : span_stat) ->
-        Fmt.pf ppf "    %-26s %10d  %8.3fs@," sp.span_name sp.calls sp.total_s)
+        Fmt.pf ppf "    %-26s %10d  %8.3fs  %8.3fs@," sp.span_name sp.calls
+          sp.total_s sp.self_s)
       s.spans
+  end;
+  if s.latency <> [] then begin
+    Fmt.pf ppf "  latency (count, p50/p90/p99 ms):@,";
+    List.iter
+      (fun (k, h) ->
+        let sm = Histogram.summary h in
+        Fmt.pf ppf "    %-26s %10d  %8.3f / %8.3f / %8.3f@," k sm.h_count
+          (sm.p50_s *. 1e3) (sm.p90_s *. 1e3) (sm.p99_s *. 1e3))
+      s.latency
   end;
   Fmt.pf ppf "@]"

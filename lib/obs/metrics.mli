@@ -30,6 +30,9 @@ type t = {
   applied : (string, int) Hashtbl.t;
       (** transformations successfully applied, per kind *)
   counters : (string, int) Hashtbl.t;  (** open-ended named counters *)
+  histograms : (string, Histogram.t) Hashtbl.t;
+      (** named latency histograms (span durations, pool task wait/run);
+          mutate through {!observe} *)
   mutable pool_trace : int list;
       (** pool size after each iteration, newest first *)
 }
@@ -46,11 +49,16 @@ val add_applied : t -> kind:string -> unit
 val count : t -> string -> int -> unit
 val record_pool : t -> int -> unit
 
+val observe : t -> string -> float -> unit
+(** Record one duration (seconds) in the named latency histogram. *)
+
 (** Aggregated timing of one span name. *)
 type span_stat = {
   span_name : string;
   calls : int;
   total_s : float;  (** summed wall-clock over all calls *)
+  self_s : float;
+      (** summed wall-clock excluding time spent in child spans *)
   max_depth : int;  (** deepest nesting level observed (outermost = 1) *)
 }
 
@@ -67,6 +75,9 @@ type snapshot = {
   named_counters : (string * int) list;  (** sorted by name *)
   pool_trace : int list;  (** pool size after each iteration, oldest first *)
   spans : span_stat list;  (** sorted by name *)
+  latency : (string * Histogram.snap) list;
+      (** latency histograms, sorted by name; surfaced as p50/p90/p99 in
+          {!pp}, {!to_json} and the bench JSON *)
 }
 
 val snapshot : t -> spans:span_stat list -> snapshot

@@ -1,0 +1,120 @@
+(** Perf-regression comparison of two bench JSON outputs.
+
+    Compares a current [BENCH_parallel.json] (the jobs-sweep output of
+    [bench/main.exe micro]) against a committed baseline, run by run
+    (matched on the [jobs] field), metric by metric, against relative
+    thresholds.  Deterministic work counters (what-if calls,
+    configurations evaluated) get a tight tolerance — on the same
+    workload they should not move at all — while wall-clock metrics
+    (elapsed, throughput) get a loose one, since CI machines are noisy.
+
+    Outcomes map onto [bin/perfdiff.exe] exit codes: [Ok] with no
+    regressions → 0, at least one regression → 1, malformed or missing
+    input → 2.  The CI perf-smoke job soft-fails (annotates) on 1 and
+    hard-fails on 2. *)
+
+type comparison = {
+  lines : string list;  (** one human-readable line per compared metric *)
+  regressions : string list;  (** subset of [lines] that breached a threshold *)
+}
+
+(* how a metric can regress *)
+type direction =
+  | Up_bad  (** more is a regression (elapsed, what-if calls) *)
+  | Down_bad  (** less is a regression (throughput, cache hits) *)
+  | Change_bad  (** any drift is a regression (deterministic counters) *)
+
+type kind = Counter | Timing
+
+let metrics : (string * direction * kind) list =
+  [
+    ("what_if_calls", Up_bad, Counter);
+    ("cache_hits", Down_bad, Counter);
+    ("configurations_evaluated", Change_bad, Counter);
+    ("elapsed_s", Up_bad, Timing);
+    ("throughput_configs_per_s", Down_bad, Timing);
+  ]
+
+let field_float name j =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing numeric field %S" name)
+
+let runs_by_jobs j =
+  match Json.member "runs" j with
+  | Some (Json.List runs) ->
+    List.fold_left
+      (fun acc run ->
+        match acc with
+        | Error _ as e -> e
+        | Ok acc -> (
+          match Option.bind (Json.member "jobs" run) Json.to_int with
+          | Some jobs -> Ok ((jobs, run) :: acc)
+          | None -> Error "run without an integer \"jobs\" field"))
+      (Ok []) runs
+    |> Result.map List.rev
+  | Some _ -> Error "\"runs\" is not a list"
+  | None -> Error "no \"runs\" field"
+
+let compare_runs ~counter_tol ~time_tol ~jobs base cur =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc (name, dir, kind) ->
+      let* lines, regs = acc in
+      let* b = field_float name base in
+      let* c = field_float name cur in
+      let tol = match kind with Counter -> counter_tol | Timing -> time_tol in
+      let change = (c -. b) /. Float.max 1e-9 (Float.abs b) in
+      let breach =
+        match dir with
+        | Up_bad -> change > tol
+        | Down_bad -> change < -.tol
+        | Change_bad -> Float.abs change > tol
+      in
+      let line =
+        Printf.sprintf "%s jobs=%d %-26s baseline %12.2f current %12.2f (%+.1f%%, tolerance %.0f%%)"
+          (if breach then "REGRESSION" else "ok        ")
+          jobs name b c (100.0 *. change) (100.0 *. tol)
+      in
+      Ok (line :: lines, if breach then line :: regs else regs))
+    (Ok ([], [])) metrics
+
+let compare_json ?(counter_tol = 0.10) ?(time_tol = 0.50) ~baseline ~current ()
+    : (comparison, string) result =
+  let ( let* ) = Result.bind in
+  let* base_runs = runs_by_jobs baseline in
+  let* cur_runs = runs_by_jobs current in
+  let* () = if base_runs = [] then Error "baseline has no runs" else Ok () in
+  let* rev =
+    List.fold_left
+      (fun acc (jobs, base) ->
+        let* lines, regs = acc in
+        match List.assoc_opt jobs cur_runs with
+        | None ->
+          Error (Printf.sprintf "current output has no run with jobs=%d" jobs)
+        | Some cur ->
+          let* l, r = compare_runs ~counter_tol ~time_tol ~jobs base cur in
+          Ok (l @ lines, r @ regs))
+      (Ok ([], [])) base_runs
+  in
+  let lines, regressions = rev in
+  Ok { lines = List.rev lines; regressions = List.rev regressions }
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Json.of_string (String.trim contents) with
+    | Ok j -> Ok j
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let compare_files ?counter_tol ?time_tol ~baseline ~current () =
+  let ( let* ) = Result.bind in
+  let* b = load baseline in
+  let* c = load current in
+  compare_json ?counter_tol ?time_tol ~baseline:b ~current:c ()
+
+let exit_code = function
+  | Error _ -> 2
+  | Ok { regressions = []; _ } -> 0
+  | Ok _ -> 1

@@ -1,0 +1,39 @@
+(** Perf-regression comparison of two bench JSON outputs.
+
+    The library behind [bin/perfdiff.exe]: compares the jobs-sweep
+    [BENCH_parallel.json] emitted by [bench/main.exe micro] against a
+    committed baseline, matching runs by their [jobs] field and checking
+    every known metric against a relative threshold.  Deterministic work
+    counters (what-if calls up, cache hits down, configurations
+    evaluated drifting either way) use [counter_tol] (default 10 %);
+    wall-clock metrics (elapsed up, throughput down) use [time_tol]
+    (default 50 %, CI machines are noisy).
+
+    Exit-code mapping (see {!exit_code}): 0 = within thresholds, 1 = at
+    least one regression, 2 = malformed or missing input. *)
+
+type comparison = {
+  lines : string list;  (** one line per compared metric, run order *)
+  regressions : string list;  (** the lines that breached their threshold *)
+}
+
+val compare_json :
+  ?counter_tol:float ->
+  ?time_tol:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (comparison, string) result
+(** [Error msg] means malformed input (no runs, non-numeric fields, a
+    baseline run with no matching current run). *)
+
+val compare_files :
+  ?counter_tol:float ->
+  ?time_tol:float ->
+  baseline:string ->
+  current:string ->
+  unit ->
+  (comparison, string) result
+
+val exit_code : (comparison, string) result -> int
+(** [0] clean, [1] regression(s), [2] malformed/missing input. *)

@@ -34,7 +34,14 @@ let plan_patched () =
 let shortcut_abort () =
   with_metrics (fun m -> m.shortcut_aborts <- m.shortcut_aborts + 1)
 
-let iteration () = with_metrics (fun m -> m.iterations <- m.iterations + 1)
+let iteration () =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r ->
+    let m = Recorder.metrics r in
+    Metrics.locked m (fun () -> m.iterations <- m.iterations + 1);
+    (* per-iteration GC counter sample for the Perfetto trace *)
+    Recorder.sample_gc r
 
 let config_evaluated () =
   with_metrics (fun m ->
@@ -54,7 +61,29 @@ let transform_applied ~kind =
 let pool_size n =
   match Recorder.ambient () with
   | None -> ()
-  | Some r -> Metrics.record_pool (Recorder.metrics r) n
+  | Some r ->
+    Metrics.record_pool (Recorder.metrics r) n;
+    Recorder.counter r "search.pool" (float_of_int n)
+
+let observe name seconds =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> Metrics.observe (Recorder.metrics r) name seconds
+
+let counter name value =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> Recorder.counter r name value
+
+let counter_series name ~series value =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> Recorder.counter_series r name ~series value
+
+let thread_name name =
+  match Recorder.ambient () with
+  | None -> ()
+  | Some r -> Recorder.thread_name r name
 
 let count_n name n =
   match Recorder.ambient () with

@@ -22,8 +22,24 @@ val config_evaluated : unit -> unit
 val transform_generated : kind:string -> unit
 val transform_applied : kind:string -> unit
 val pool_size : int -> unit
+(** Record the configuration pool's size after an iteration (also sampled
+    into the [search.pool] counter track when profiling). *)
+
 val count : string -> unit
 val count_n : string -> int -> unit
+
+val observe : string -> float -> unit
+(** Record one duration (seconds) in the ambient recorder's named
+    latency histogram (pool task wait/run times, ...). *)
+
+val counter : string -> float -> unit
+(** Sample a single-series counter track (profiling mode only). *)
+
+val counter_series : string -> series:string -> float -> unit
+(** Sample one series of a counter track (e.g. one cache shard). *)
+
+val thread_name : string -> unit
+(** Name the calling domain's thread track in the Chrome export. *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** Run [f] inside a named span of the ambient recorder; plain call when

@@ -22,6 +22,8 @@ module Catalog = Relax_catalog.Catalog
 type shard = {
   shard_lock : Mutex.t;
   plans : (string, Plan.t) Hashtbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
 type t = {
@@ -39,12 +41,20 @@ let create catalog =
     catalog;
     shards =
       Array.init shard_count (fun _ ->
-          { shard_lock = Mutex.create (); plans = Hashtbl.create 32 });
+          {
+            shard_lock = Mutex.create ();
+            plans = Hashtbl.create 32;
+            hits = Atomic.make 0;
+            misses = Atomic.make 0;
+          });
     optimizer_calls = Atomic.make 0;
     cache_hits = Atomic.make 0;
   }
 
 let stats t = (Atomic.get t.optimizer_calls, Atomic.get t.cache_hits)
+
+let shard_stats t =
+  Array.map (fun sh -> (Atomic.get sh.hits, Atomic.get sh.misses)) t.shards
 
 let cached_plans t =
   Array.fold_left
@@ -55,20 +65,32 @@ let cached_plans t =
 let key config ~qid ~tables =
   qid ^ "#" ^ Config.fingerprint_for_tables config tables
 
-let shard_of t k = t.shards.(Hashtbl.hash k land (shard_count - 1))
+let shard_index k = Hashtbl.hash k land (shard_count - 1)
+let series_of_shard i = Printf.sprintf "shard%02d" i
 
 (** Optimized plan for a select query under [config] (memoized). *)
 let plan_select t config ~qid (sq : Query.select_query) : Plan.t =
   let k = key config ~qid ~tables:sq.body.tables in
-  let sh = shard_of t k in
+  let i = shard_index k in
+  let sh = t.shards.(i) in
   match Mutex.protect sh.shard_lock (fun () -> Hashtbl.find_opt sh.plans k) with
   | Some p ->
     Atomic.incr t.cache_hits;
+    Atomic.incr sh.hits;
     Relax_obs.Probe.cache_hit ~qid;
+    Relax_obs.Probe.counter_series "whatif.cache_hits"
+      ~series:(series_of_shard i)
+      (float_of_int (Atomic.get sh.hits));
     p
   | None ->
     Atomic.incr t.optimizer_calls;
+    Atomic.incr sh.misses;
     Relax_obs.Probe.what_if_call ~qid;
+    Relax_obs.Probe.counter "whatif.calls"
+      (float_of_int (Atomic.get t.optimizer_calls));
+    Relax_obs.Probe.counter_series "whatif.cache_misses"
+      ~series:(series_of_shard i)
+      (float_of_int (Atomic.get sh.misses));
     let p =
       Relax_obs.Probe.span "whatif.optimize" (fun () ->
           Optimizer.optimize t.catalog config sq)

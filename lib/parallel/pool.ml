@@ -9,12 +9,18 @@
     decrements the countdown under it, the caller observes zero under
     it), so no further synchronization per slot is needed. *)
 
+module Obs = Relax_obs
+
+(* a queued task remembers when it was enqueued, so workers can report
+   queue wait separately from run time *)
+type task = { enqueued_at : float; run : unit -> unit }
+
 type t = {
   pool_jobs : int;
   lock : Mutex.t;
   work_available : Condition.t;
   work_done : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : task Queue.t;
   mutable shutting_down : bool;
   mutable domains : unit Domain.t array;
   (* lifetime counters, mutated under [lock] (or by the sole caller when
@@ -41,6 +47,9 @@ let default_jobs () =
   | None -> hw
 
 let worker t i () =
+  (* the ambient recorder was installed before this domain was spawned,
+     so the registration lands in the run's Chrome thread-name map *)
+  Obs.Probe.thread_name (Printf.sprintf "pool-worker%d" i);
   let rec loop () =
     Mutex.lock t.lock;
     while Queue.is_empty t.queue && not t.shutting_down do
@@ -53,12 +62,15 @@ let worker t i () =
     end
     else begin
       let task = Queue.pop t.queue in
+      let qlen = Queue.length t.queue in
       Mutex.unlock t.lock;
-      (* relax-lint: allow L5 per-worker busy-time accounting only *)
-      let t0 = Unix.gettimeofday () in
-      task ();
-      (* relax-lint: allow L5 per-worker busy-time accounting only *)
-      let dt = Unix.gettimeofday () -. t0 in
+      Obs.Probe.counter "pool.queue_depth" (float_of_int qlen);
+      let t0 = Obs.Clock.now () in
+      Obs.Probe.observe "pool.task.wait_s"
+        (Float.max 0.0 (t0 -. task.enqueued_at));
+      task.run ();
+      let dt = Obs.Clock.elapsed_s ~since:t0 in
+      Obs.Probe.observe "pool.task.run_s" dt;
       Mutex.lock t.lock;
       t.busy.(i) <- t.busy.(i) +. dt;
       Mutex.unlock t.lock;
@@ -133,9 +145,10 @@ let map (type a b) t (f : a -> b) (l : a list) : b list =
       if !remaining = 0 then Condition.broadcast t.work_done;
       Mutex.unlock t.lock
     in
+    let enqueued_at = Obs.Clock.now () in
     Mutex.lock t.lock;
     for i = 0 to n - 1 do
-      Queue.add (task i) t.queue
+      Queue.add { enqueued_at; run = task i } t.queue
     done;
     t.n_tasks <- t.n_tasks + n;
     t.n_batches <- t.n_batches + 1;

@@ -7,7 +7,14 @@
     and an exception raised by [f] is re-raised in the caller (the one
     with the smallest input index, for determinism).  Parallelism is a
     pure speedup, never a behaviour change: at [jobs = 1] no domains are
-    spawned and [map] degenerates to [List.map]. *)
+    spawned and [map] degenerates to [List.map].
+
+    Workers report into the ambient {!Relax_obs} recorder when one is
+    installed: per-task queue-wait and run-time latency histograms
+    ([pool.task.wait_s] / [pool.task.run_s]), a [pool.queue_depth]
+    counter track, and a [pool-workerN] thread name for the Chrome trace
+    export's domain→tid mapping.  All of it no-ops without a recorder,
+    and none of it changes task order or results. *)
 
 type t
 

@@ -7,6 +7,7 @@ let () =
       ("optimizer", Suite_optimizer.suite);
       ("tuner", Suite_tuner.suite);
       ("obs", Suite_obs.suite);
+      ("profile", Suite_profile.suite);
       ("parallel", Suite_parallel.suite);
       ("baseline", Suite_baseline.suite);
       ("workloads", Suite_workloads.suite);
