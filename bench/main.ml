@@ -393,6 +393,7 @@ let fig7 () =
                 (O.Optimizer.optimize cat Config.empty
                    { Query.body = Relax_physical.View.definition v; order_by = [] })
                   .cost);
+            expands = T.Transform.adds_structures tr;
           }
         in
         List.iter
@@ -746,6 +747,152 @@ let parallel_sweep () =
   ignore r1
 
 (* ------------------------------------------------------------------ *)
+(* Frugal costing: what-if budget sweep                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* overridden by --whatif-budget N *)
+let whatif_budget_flag = ref 384
+
+(* The frugal costing tier on a generated 100+-statement workload: the
+   budgeted run must land within epsilon of the unlimited run's
+   recommended cost while spending several times fewer what-if optimizer
+   calls.  The results land in BENCH_frugal.json, diffed by perfdiff in
+   CI with what_if_calls as a hard gate. *)
+let frugal_sweep () =
+  Printf.printf "\n-- frugal costing: what-if budget sweep --\n";
+  let schema = W.Bench_db.tpch_schema ~scale:tpch_scale () in
+  (* 104 statements from 13 templates, re-parameterized as production
+     workloads repeat (the compress_bench recipe, distinct seed) *)
+  let base = W.Generator.workload ~seed:900 schema ~n:13 in
+  let rng = Relax_catalog.Rng.create 901 in
+  let w =
+    List.concat_map
+      (fun rep ->
+        List.map
+          (fun (e : Query.entry) ->
+            { e with qid = Printf.sprintf "%s-r%d" e.qid rep })
+          (if rep = 0 then base else W.Generator.reparameterize schema rng base))
+      (List.init 8 Fun.id)
+  in
+  let cat = schema.catalog in
+  let budget = db_bytes cat *. 1.3 in
+  let call_budget = !whatif_budget_flag in
+  Printf.printf "workload: %d generated statements, whatif budget %d\n"
+    (List.length w) call_budget;
+  let tune_with label whatif_budget =
+    let checker =
+      if !validate_flag then
+        Some
+          (Relax_check.Checker.create cat ~workload:w ~protected:Config.empty
+             ())
+      else None
+    in
+    let opts =
+      {
+        (T.Tuner.default_options ~mode:T.Tuner.Indexes_only
+           ~space_budget:budget ())
+        with
+        (* a long tuning session: exact costing pays optimizer calls per
+           iteration, frugal costing plateaus at the budget — the regime
+           the 100+-statement north star lives in *)
+        max_iterations = 800;
+        jobs = effective_jobs ();
+        whatif_budget;
+        on_iteration = Option.map Relax_check.Checker.hook checker;
+      }
+    in
+    let obs = Relax_obs.Recorder.create () in
+    let t0 = now () in
+    let r = T.Tuner.tune ~obs cat w opts in
+    let elapsed = now () -. t0 in
+    (match checker with
+    | None -> ()
+    | Some c ->
+      let rep = Relax_check.Checker.report c in
+      check_iterations := !check_iterations + rep.iterations_checked;
+      check_violations := !check_violations + List.length rep.violations;
+      if rep.violations <> [] then
+        Printf.printf "  !! differential check (%s): %s\n" label
+          (Fmt.str "%a" Relax_check.Checker.pp_report rep));
+    (label, r, elapsed, Relax_obs.Recorder.snapshot obs)
+  in
+  let exact = tune_with "exact" None in
+  let frugal = tune_with "frugal" (Some call_budget) in
+  let named name (m : Relax_obs.Metrics.snapshot) =
+    Option.value ~default:0 (List.assoc_opt name m.named_counters)
+  in
+  Printf.printf "%-8s %10s %14s %12s %10s %10s %10s\n" "run" "time"
+    "whatif calls" "cost" "accepts" "rejects" "spent";
+  List.iter
+    (fun (label, (r : T.Tuner.result), e, (m : Relax_obs.Metrics.snapshot)) ->
+      Printf.printf "%-8s %9.2fs %14d %12.1f %10d %10d %10d\n" label e
+        m.what_if_calls r.recommended_cost
+        (named "whatif.bound_accepts" m)
+        (named "whatif.bound_rejects" m)
+        (named "whatif.budget_spent" m))
+    [ exact; frugal ];
+  let _, re, _, me = exact and _, rf, _, mf = frugal in
+  let ratio =
+    float_of_int me.what_if_calls /. float_of_int (max 1 mf.what_if_calls)
+  in
+  let cost_gap =
+    Float.abs (rf.recommended_cost -. re.recommended_cost)
+    /. Float.max 1e-9 re.recommended_cost
+  in
+  let eps_equal = cost_gap <= 0.01 in
+  Printf.printf
+    "what-if call reduction: %.1fx   recommended-cost gap: %.4f%% \
+     (epsilon-equal: %b)\n"
+    ratio (100.0 *. cost_gap) eps_equal;
+  let json =
+    let open Relax_obs.Json in
+    let run_json (label, (r : T.Tuner.result), e, (m : Relax_obs.Metrics.snapshot)) =
+      Obj
+        [
+          ("label", String label);
+          ("elapsed_s", Float e);
+          ("configurations_evaluated", Int m.configurations_evaluated);
+          ( "throughput_configs_per_s",
+            Float
+              (float_of_int m.configurations_evaluated /. Float.max 1e-9 e) );
+          ("what_if_calls", Int m.what_if_calls);
+          ("cache_hits", Int m.cache_hits);
+          ("plans_reoptimized", Int m.plans_reoptimized);
+          ("plans_patched", Int m.plans_patched);
+          ("bound_accepts", Int (named "whatif.bound_accepts" m));
+          ("bound_rejects", Int (named "whatif.bound_rejects" m));
+          ("budget_spent", Int (named "whatif.budget_spent" m));
+          ("bound_costed", Int (named "whatif.bound_costed" m));
+          ("point_exact", Int (named "whatif.point_exact" m));
+          ("endgame_spent", Int (named "whatif.endgame_spent" m));
+          ("recommended_cost", Float r.recommended_cost);
+          ("recommended_fingerprint", String (Config.fingerprint r.recommended));
+          ("improvement_pct", Float r.improvement);
+        ]
+    in
+    Obj
+      [
+        ("bench", String "frugal_whatif_budget");
+        ( "workload",
+          String
+            (Printf.sprintf "generated tpch-like, %d statements"
+               (List.length w)) );
+        ("budget_bytes", Float budget);
+        ("whatif_budget", Int call_budget);
+        ("call_reduction", Float ratio);
+        ("recommended_cost_gap", Float cost_gap);
+        ("epsilon_equal_cost", Bool eps_equal);
+        ("runs", List [ run_json exact; run_json frugal ]);
+      ]
+  in
+  try
+    Out_channel.with_open_bin "BENCH_frugal.json" (fun oc ->
+        Out_channel.output_string oc (Relax_obs.Json.to_string json);
+        Out_channel.output_char oc '\n');
+    Printf.printf "frugality sweep written to BENCH_frugal.json\n"
+  with Sys_error msg -> Printf.eprintf "cannot write BENCH_frugal.json: %s\n" msg
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -815,7 +962,9 @@ let micro () =
           | _ -> ignore name)
         raw_results)
     tests;
-  parallel_sweep ()
+  parallel_sweep ();
+  (* one `bench micro --json` run refreshes both committed baselines *)
+  frugal_sweep ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -832,6 +981,7 @@ let experiments =
     ("fig9", fig9);
     ("fig10", fig10);
     ("compress", compress_bench);
+    ("frugal", frugal_sweep);
     ("validate", validate);
     ("ablation", ablation);
     ("micro", micro);
@@ -908,6 +1058,14 @@ let () =
       Printf.eprintf "--jobs expects a positive integer, got %s\n" s;
       exit 1
   in
+  let set_whatif_budget s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> whatif_budget_flag := n
+    | Some _ | None ->
+      Printf.eprintf "--whatif-budget expects a non-negative integer, got %s\n"
+        s;
+      exit 1
+  in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--json" :: path :: rest ->
@@ -918,6 +1076,14 @@ let () =
       parse acc rest
     | "--validate" :: rest ->
       validate_flag := true;
+      parse acc rest
+    | "--whatif-budget" :: n :: rest ->
+      set_whatif_budget n;
+      parse acc rest
+    | arg :: rest
+      when String.length arg > 16 && String.sub arg 0 16 = "--whatif-budget="
+      ->
+      set_whatif_budget (String.sub arg 16 (String.length arg - 16));
       parse acc rest
     | "--profile" :: rest ->
       profile_flag := Some "bench-profile.json";

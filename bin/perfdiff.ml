@@ -5,17 +5,20 @@
     perfdiff [--counter-tolerance F] [--time-tolerance F] BASELINE CURRENT
     v}
 
-    Both files use the [BENCH_parallel.json] schema written by
-    [bench/main.exe micro]; runs are matched by their [jobs] field.
-    Work counters (what-if calls, cache hits, configurations evaluated)
-    are checked against [--counter-tolerance] (default 0.10 = 10 %),
-    wall-clock metrics (elapsed, throughput) against [--time-tolerance]
-    (default 0.50 = 50 %).
+    Both files use the bench JSON schema written by [bench/main.exe micro]
+    ([BENCH_parallel.json], [BENCH_frugal.json]); runs are matched by
+    their string [label] field when present, else by [jobs].  Work
+    counters (what-if calls, cache hits, configurations evaluated, the
+    frugality counters when both sides carry them) are checked against
+    [--counter-tolerance] (default 0.10 = 10 %), wall-clock metrics
+    (elapsed, throughput) against [--time-tolerance] (default 0.50 =
+    50 %).  [what_if_calls] is a hard gate; everything else is soft.
 
-    Exit codes: 0 = all metrics within thresholds, 1 = at least one
-    regression, 2 = malformed or missing input (unreadable file, parse
-    error, no runs, mismatched run sets).  CI soft-fails on 1 and
-    hard-fails on 2. *)
+    Exit codes: 0 = all metrics within thresholds, 1 = soft regression(s)
+    only, 2 = malformed or missing input (unreadable file, parse error,
+    no runs, mismatched run sets), 3 = hard regression(s)
+    ([what_if_calls] breached).  CI soft-fails on 1 and hard-fails on 2
+    and 3. *)
 
 let usage = "perfdiff [--counter-tolerance F] [--time-tolerance F] BASELINE CURRENT"
 
@@ -42,10 +45,11 @@ let () =
     in
     (match result with
     | Error msg -> Printf.eprintf "perfdiff: malformed input: %s\n" msg
-    | Ok { lines; regressions } ->
+    | Ok { lines; regressions; hard_regressions } ->
       List.iter print_endline lines;
-      Printf.printf "%d metric(s) compared, %d regression(s)\n"
-        (List.length lines) (List.length regressions));
+      Printf.printf "%d metric(s) compared, %d regression(s), %d hard\n"
+        (List.length lines) (List.length regressions)
+        (List.length hard_regressions));
     exit (Relax_obs.Perfdiff.exit_code result)
   | _ ->
     prerr_endline usage;

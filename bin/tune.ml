@@ -60,9 +60,9 @@ let load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
   (schema.catalog, workload)
 
 let run db scale schema_file queries file generate seed updates tool mode
-    budget_mb iterations time_s jobs ddl do_compress explain analyze verbose
-    log_level trace_file trace_chrome_file metrics frontier_csv_file check
-    check_jsonl =
+    budget_mb iterations time_s jobs whatif_budget ddl do_compress explain
+    analyze verbose log_level trace_file trace_chrome_file metrics
+    frontier_csv_file check check_jsonl =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else log_level);
   let catalog, workload =
@@ -109,6 +109,7 @@ let run db scale schema_file queries file generate seed updates tool mode
         max_iterations = iterations;
         time_budget_s = time_s;
         jobs = Option.value jobs ~default:(Relax_parallel.Pool.default_jobs ());
+        whatif_budget;
         on_iteration =
           Option.map (fun c -> Relax_check.Checker.hook c) checker;
       }
@@ -339,6 +340,20 @@ let jobs =
            domain count (capped at 8).  The recommendation is identical \
            whatever the value.")
 
+let whatif_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "whatif-budget" ] ~docv:"N"
+        ~doc:
+          "Frugal costing (ptt only): cap the what-if optimizer calls the \
+           relaxation ranking may spend; candidate decisions come from \
+           cost-bound intervals and the budget is spent only on candidates \
+           the bounds cannot decide.  Absent = unlimited (frugal tier \
+           off).  0 = bounds only.  See the whatif.bound_accepts, \
+           whatif.bound_rejects and whatif.budget_spent counters in \
+           --metrics.")
+
 let ddl =
   Arg.(
     value & flag
@@ -464,8 +479,8 @@ let cmd =
     Term.(
       const run $ db $ scale $ schema_file $ queries $ file $ generate
       $ seed $ updates $ tool $ mode $ budget_mb $ iterations $ time_s
-      $ jobs $ ddl $ do_compress $ explain $ analyze $ verbose $ log_level
-      $ trace_file $ trace_chrome_file $ metrics $ frontier_csv_file $ check
-      $ check_jsonl)
+      $ jobs $ whatif_budget $ ddl $ do_compress $ explain $ analyze
+      $ verbose $ log_level $ trace_file $ trace_chrome_file $ metrics
+      $ frontier_csv_file $ check $ check_jsonl)
 
 let () = exit (Cmd.eval cmd)

@@ -142,6 +142,7 @@ let bound_context t ~old_config ~new_config (tr : T.Transform.t) :
     removed_views = T.Transform.removed_views tr;
     view_merge;
     cbv = cbv t;
+    expands = T.Transform.adds_structures tr;
   }
 
 let relation_rows_measured t config owner =
@@ -237,6 +238,17 @@ let hook t (r : T.Search.iteration_report) =
               in
               Drift.add t.bound_drift
                 (if bound > 0.0 then actual /. bound else Float.nan);
+              (* the frugal tier's lower bound must bracket the same
+                 re-optimized cost from below *)
+              let lower =
+                T.Cost_bound.query_lower_bound ~order_by:sq.Query.order_by ctx
+                  plan
+              in
+              if not (bound_ok t.tol ~bound:actual ~actual:lower) then
+                add "lower_bound_soundness" ~subject:(tr_label ^ " / " ^ qid)
+                  ~detail:
+                    "the frugal lower bound is above the re-optimized cost"
+                  ~expected:actual ~actual:lower;
               if not (bound_ok t.tol ~bound ~actual) then begin
                 add "bound_soundness" ~subject:(tr_label ^ " / " ^ qid)
                   ~detail:

@@ -32,6 +32,12 @@ type context = {
       (** set when the transformation merges two views (result, v1, v2) *)
   cbv : View.t -> float;
       (** cost of computing a view under the base configuration *)
+  expands : bool;
+      (** does the relaxation introduce replacement structures
+          ({!Transform.adds_structures})?  Pure removals shrink the plan
+          space, which makes the old plan's cost a sound lower bound on the
+          re-optimized cost; with replacements an affected query can
+          genuinely get cheaper and the lower bound must account for it *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -256,3 +262,114 @@ let query_bound ?(order_by = []) ctx (plan : O.Plan.t) : float =
 (** Does this plan touch any structure the relaxation removes? *)
 let plan_affected ctx (plan : O.Plan.t) =
   List.exists (affected ctx) (O.Plan.accesses plan)
+
+(* --- patched-plan materialization (the frugal costing tier) ------------- *)
+
+exception Unpatchable
+
+(** Materialize the §3.3.2 patched plan: every affected access sub-plan is
+    replaced by the best surviving access path under [C'] (with the
+    consumed output order folded into its request, and the original
+    execution count preserved), the rest of the plan is kept, and every
+    ancestor's cumulative cost absorbs the per-access delta — clamped at
+    zero exactly like {!query_bound}, so the returned plan's top-level
+    cost equals the {!query_bound} value.  The result is a {e valid} plan
+    under [C'] — real accesses, real usages — so every later
+    affected-test, bound and ranking delta computed from it stays
+    meaningful, unlike a stale plan carrying a substituted cost.
+
+    Returns [None] when an affected access cannot be re-implemented as an
+    access path (removed or merged views: their compensation is a
+    from-scratch view computation, not a plan). *)
+let patched_plan ?(order_by = []) ctx (plan : O.Plan.t) : O.Plan.t option =
+  let rec go needed (p : O.Plan.t) : O.Plan.t * float =
+    let lift mk kids =
+      let kids' = List.map (fun (needed, k) -> go needed k) kids in
+      let d = List.fold_left (fun acc (_, dk) -> acc +. dk) 0.0 kids' in
+      ({ p with node = mk (List.map fst kids'); cost = p.cost +. d }, d)
+    in
+    let one mk needed_k k = lift (function [ k' ] -> mk k' | _ -> assert false) [ (needed_k, k) ] in
+    let two mk na a nb b =
+      lift (function [ a'; b' ] -> mk a' b' | _ -> assert false) [ (na, a); (nb, b) ]
+    in
+    match p.node with
+    | O.Plan.Seq_scan _ | Index_scan _ | Index_seek _ | Rid_union _ -> (p, 0.0)
+    | Access { info; input = _ } when affected ctx info ->
+      if
+        view_removed ctx info.rel
+        || (match ctx.view_merge with
+           | Some (_, v1, v2) ->
+             info.rel = View.name v1 || info.rel = View.name v2
+           | None -> false)
+      then raise Unpatchable
+      else begin
+        let consumed = if needed then p.out_order else [] in
+        let info = with_consumed_order info consumed in
+        let repl =
+          O.Access_path.best ctx.env' ?via_view:info.via_view info.request
+        in
+        (* the replacement runs as many times as the access it replaces *)
+        let repl =
+          match repl.node with
+          | O.Plan.Access { info = ri; input } ->
+            { repl with
+              node =
+                O.Plan.Access
+                  { info = { ri with executions = info.executions }; input }
+            }
+          | _ -> repl
+        in
+        ( repl,
+          Float.max 0.0 (info.executions *. (repl.cost -. info.access_cost)) )
+      end
+    | Access _ -> (p, 0.0)
+    | Sort s -> one (fun input -> O.Plan.Sort { s with input }) false s.input
+    | Filter f -> one (fun input -> O.Plan.Filter { f with input }) needed f.input
+    | Rid_lookup r ->
+      one (fun input -> O.Plan.Rid_lookup { r with input }) needed r.input
+    | Rid_intersect (a, b) ->
+      two (fun a' b' -> O.Plan.Rid_intersect (a', b')) false a false b
+    | Hash_join h ->
+      two
+        (fun build probe -> O.Plan.Hash_join { h with build; probe })
+        false h.build needed h.probe
+    | Merge_join m ->
+      two
+        (fun left right -> O.Plan.Merge_join { m with left; right })
+        true m.left true m.right
+    | Nl_join n ->
+      two
+        (fun outer inner -> O.Plan.Nl_join { n with outer; inner })
+        needed n.outer false n.inner
+    | Group g ->
+      one (fun input -> O.Plan.Group { g with input }) g.streaming g.input
+  in
+  match go (order_by <> []) plan with
+  | p, _ -> Some p
+  | exception Unpatchable -> None
+
+(* --- lower bounds (the frugal costing tier) ----------------------------- *)
+
+(** Lower bound on the query's re-optimized cost under [C'].
+
+    For pure removals ([expands = false]) the old plan's cost itself is the
+    bound: the plan was optimal under a configuration that is a superset of
+    [C'], and shrinking the structure set can only shrink the plan space,
+    so the optimum under [C'] cannot be cheaper.  This direction is exact
+    model-free reasoning, not an estimate.
+
+    With replacement structures ([expands = true]) the model makes no
+    claim: the bound is 0.  Any floor assembled from the old plan's
+    operators can be beaten by a plan the optimizer restructures around
+    the replacement — a promoted clustered index whose order deletes a
+    Sort {e and} flips a hash join to a merge join, a merged index whose
+    covering kills a rid-lookup an entire join order was shaped by — and
+    the differential checker caught exactly such a case (a per-access
+    floor over-estimating the optimum by 27% under an index promotion).
+    Real information tightens the interval instead: the advisory store
+    ({!Relax_optimizer.Whatif.cost_interval}) raises the lower end from
+    {e observed} costs of structure-comparable configurations, which is
+    sound by construction. *)
+let query_lower_bound ?(order_by = []) ctx (plan : O.Plan.t) : float =
+  ignore order_by;
+  if not ctx.expands then plan.cost else 0.0

@@ -24,6 +24,10 @@ type context = {
       (** set when the transformation merges two views *)
   cbv : View.t -> float;
       (** cost of computing a view under the base configuration *)
+  expands : bool;
+      (** does the relaxation introduce replacement structures
+          ({!Transform.adds_structures})?  Governs which lower-bound
+          derivation {!query_lower_bound} may use *)
 }
 
 val float_eq : ?eps:float -> float -> float -> bool
@@ -71,3 +75,36 @@ val query_bound :
     found under [C'] cannot drag the bound below the cost of a valid plan.
     [order_by] is the query's required output order; when an access (not a
     Sort operator) delivers it, its replacement must preserve it. *)
+
+val patched_plan :
+  ?order_by:(Relax_sql.Types.column * Relax_sql.Types.order_dir) list ->
+  context ->
+  O.Plan.t ->
+  O.Plan.t option
+(** Materialize the §3.3.2 patched plan: every affected access sub-plan is
+    replaced by the best surviving access path under [C'] (consumed order
+    folded into its request, execution count preserved) and every
+    ancestor's cumulative cost absorbs the clamped per-access delta, so
+    the result's top-level cost equals {!query_bound}.  The result is a
+    valid plan under [C'] with real accesses, so later affected-tests and
+    bounds computed from it stay meaningful — this is what the frugal tier
+    stores in place of a re-optimization it did not pay for.  [None] when
+    an affected access cannot be re-implemented as an access path (removed
+    or merged views: their compensation is a from-scratch view
+    computation, not a plan). *)
+
+val query_lower_bound :
+  ?order_by:(Relax_sql.Types.column * Relax_sql.Types.order_dir) list ->
+  context ->
+  O.Plan.t ->
+  float
+(** Lower bound on the query's re-optimized cost under [C'] — the other
+    side of the frugal costing interval ([query_lower_bound] ≤ optimizer ≤
+    {!query_bound}).  For pure removals ([expands = false]) this is the
+    old plan's cost: removal shrinks the plan space, so the optimum cannot
+    get cheaper.  With replacement structures ([expands = true]) the model
+    makes no claim and the bound is 0 — any floor assembled from the old
+    plan's operators can be beaten by a restructured plan (order deleting
+    a Sort and flipping the join method at once); the advisory store
+    ({!Relax_optimizer.Whatif.cost_interval}) raises the lower end from
+    observed costs instead, which is sound by construction. *)

@@ -82,6 +82,13 @@ type options = {
       (** worker domains for parallel candidate scoring and plan
           re-optimization; 1 = fully sequential.  The result is identical
           whatever the value. *)
+  whatif_budget : int option;
+      (** [Some n]: frugal costing — candidate decisions come from ΔT bound
+          intervals, at most [n] what-if optimizer calls are spent (across
+          the whole run) refining straddling candidates, and node
+          evaluation substitutes bound-costed plans for uncached
+          re-optimizations.  [None] (the default): the frugal tier is
+          entirely off and the search behaves exactly as before. *)
   on_iteration : (iteration_report -> unit) option;
       (** invoked once per iteration, after evaluation and trace emission,
           from the main domain (never from workers).  Used by the
@@ -100,6 +107,7 @@ let default_options ~space_budget =
     shrink_configurations = false;
     selection = Penalty;
     jobs = Pool.default_jobs ();
+    whatif_budget = None;
     on_iteration = None;
   }
 
@@ -108,6 +116,9 @@ type candidate = {
   tr : Transform.t;
   penalty : float;
   delta_cost : float;  (** ΔT: upper-bound cost increase *)
+  delta_cost_lo : float;
+      (** ΔT lower bound; equals [delta_cost] outside frugal mode and for
+          candidates the frugal sweep refined to an exact value *)
   delta_space : float;  (** ΔS: space saved *)
 }
 
@@ -124,6 +135,9 @@ type node = {
   via : Transform.t option;
   actual_penalty : float;
       (** realized (cost increase)/(space saved) when created *)
+  pseudo : unit String_map.t;
+      (** frugal runs only: the select qids whose plan carries a
+          bound-substituted (not re-optimized) cost; empty on exact runs *)
   mutable untried : candidate list;  (** sorted by increasing penalty *)
   mutable candidates_ready : bool;
   mutable pruned : bool;
@@ -173,6 +187,8 @@ type state = {
   cbv_cache : (string, float) Hashtbl.t;
   size_lock : Mutex.t;  (** guards [size_cache] *)
   size_cache : (string, float) Hashtbl.t;  (** per-structure size memo *)
+  frugal : Frugal.t option;
+      (** the what-if call ledger; [Some] iff [opts.whatif_budget] is *)
   rand : Random.State.t;  (** only consulted by the [Random] selection *)
   started : float;
 }
@@ -295,6 +311,7 @@ let bound_context ?old_env st ~old_config ~new_config (tr : Transform.t) :
     removed_views = Transform.removed_views tr;
     view_merge;
     cbv = cbv st;
+    expands = Transform.adds_structures tr;
   }
 
 (* Fixed width of one parallel (re-)optimization batch.  Deliberately
@@ -329,29 +346,236 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
     match st.best with Some b -> b.cost | None -> infinity
   in
   let shell = shell_cost_of st config in
+  (* Frugal node gate: only a node that could become the incumbent best —
+     it fits the space budget and a cheap lower bound on its total cost is
+     below the best known cost — is allowed to spend budget on exact
+     re-optimization.  Every other node is costed entirely from bounds,
+     for free: its cost only feeds the pool trajectory, where a sound
+     upper bound is good enough.  (With [shrink_configurations] the gate
+     sees the pre-shrink size, so a node only the shrink makes fit may be
+     bound-costed — a conservative miss, never a wrong best.) *)
+  (* Frugal upfront analysis — sequential, on the main domain, so the
+     spend schedule is identical at any [jobs].  One pass over the
+     workload classifies every query and prices the uncertain ones:
+
+     - unaffected, non-pseudo: the plan survives (free, exact);
+     - warm cache: the exact plan is already known (free, exact);
+     - tier 0: a pure removal whose patched plan costs no more than the
+       surviving plan — the old cost is a sound lower bound (removal
+       shrinks the plan space) and the patched plan achieves it, so the
+       patched plan is optimal (free, exact);
+     - the rest carry a genuine ΔT interval [lo, hi] with [hi] the
+       §3.3.2 patched-plan cost.  The budget goes to the widest weighted
+       intervals first — in practice the index-merge evaluations, whose
+       upper bounds drift an order of magnitude while removal bounds
+       track re-optimization within a percent — and only above a noise
+       floor relative to the parent's cost: paying to collapse a narrow
+       interval cannot move any later decision.
+
+     The node gate: only a node that could become the incumbent best —
+     it fits the space budget and the summed interval floor is below the
+     best known cost — may spend at all.  Every other node is costed
+     entirely from bounds: its cost only feeds the pool trajectory,
+     where a sound upper bound is good enough.  (With
+     [shrink_configurations] the gate sees the pre-shrink size, so a
+     node only the shrink makes fit may be bound-costed — a conservative
+     miss, never a wrong best.) *)
+  let decisions = Hashtbl.create 16 in
+  (match st.frugal with
+  | None -> ()
+  | Some ledger ->
+    let lo_total = ref shell and hi_total = ref shell in
+    let widths = ref [] in
+    List.iter
+      (fun (qid, w, q) ->
+        let old_plan = String_map.find qid parent.plans in
+        let parent_pseudo = String_map.mem qid parent.pseudo in
+        let affected = Cost_bound.plan_affected ctx old_plan in
+        let advisory_lo () =
+          fst
+            (O.Whatif.cost_interval st.whatif config ~qid
+               ~tables:q.Query.body.tables)
+        in
+        if (not parent_pseudo) && not affected then begin
+          lo_total := !lo_total +. (w *. old_plan.O.Plan.cost);
+          hi_total := !hi_total +. (w *. old_plan.O.Plan.cost)
+        end
+        else begin
+          let lo =
+            if parent_pseudo then advisory_lo ()
+            else
+              Float.max (advisory_lo ())
+                (Cost_bound.query_lower_bound ~order_by:q.Query.order_by ctx
+                   old_plan)
+          in
+          lo_total := !lo_total +. (w *. lo);
+          match
+            O.Whatif.find_cached st.whatif config ~qid
+              ~tables:q.Query.body.tables
+          with
+          | Some p ->
+            hi_total := !hi_total +. (w *. p.O.Plan.cost);
+            Hashtbl.replace decisions qid (`Cached p)
+          | None -> (
+            let patched =
+              Cost_bound.patched_plan ~order_by:q.Query.order_by ctx old_plan
+            in
+            match patched with
+            | Some p
+              when (not parent_pseudo)
+                   && (not ctx.Cost_bound.expands)
+                   && Cost_bound.float_leq p.O.Plan.cost old_plan.O.Plan.cost
+              ->
+              hi_total := !hi_total +. (w *. p.O.Plan.cost);
+              Hashtbl.replace decisions qid (`Point p)
+            | _ ->
+              let hi =
+                match patched with
+                | Some p -> p.O.Plan.cost
+                | None -> (
+                  (* unpatchable (removed or merged view): the universal
+                     fallback is the base-configuration plan, pre-costed
+                     by the anchoring pass *)
+                  match
+                    O.Whatif.find_cached st.whatif st.opts.protected ~qid
+                      ~tables:q.Query.body.tables
+                  with
+                  | Some (b : O.Plan.t) -> b.cost
+                  | None -> old_plan.O.Plan.cost)
+              in
+              hi_total := !hi_total +. (w *. hi);
+              Hashtbl.replace decisions qid (`Bound patched);
+              widths := (qid, w *. (hi -. lo)) :: !widths)
+        end)
+      st.prepared.selects;
+    (* contender test: worst-case total within [contender_slack] of the
+       incumbent best.  A node whose upper bound is far above the best
+       cannot be mis-ranked into the recommendation by its bound cost —
+       exactness there buys nothing. *)
+    let spend_ok =
+      config_size st config <= st.opts.space_budget
+      && Cost_bound.float_lt !lo_total best_cost
+      && !hi_total < best_cost *. Frugal.contender_slack
+    in
+    if spend_ok then begin
+      (* widest weighted interval first; ties resolve to workload order
+         (the [widths] list is built in reverse workload order) *)
+      let ranked =
+        List.stable_sort
+          (fun (_, a) (_, b) -> Float.compare b a)
+          (List.rev !widths)
+      in
+      let floor = Frugal.width_floor *. parent.cost in
+      let k = ref (Frugal.remaining ledger) in
+      List.iter
+        (fun (qid, width) ->
+          if !k > 0 && Cost_bound.float_lt floor width then begin
+            decr k;
+            Hashtbl.replace decisions qid `Paid
+          end)
+        ranked
+    end);
   (* unaffected plans survive as-is (the §3 re-optimization-avoidance rule) *)
   let exception Shortcut in
   try
     let total = ref shell in
     let plans = ref String_map.empty in
+    let pseudo = ref String_map.empty in
     let rec go selects =
       match selects with
       | [] -> ()
       | _ ->
         let batch, rest = take_batch eval_batch selects in
+        (* Consume the upfront classification — still sequentially on
+           the main domain; the ledger is debited per batch, so a
+           shortcut abort returns the calls later batches never made
+           back to the pool (dynamic reallocation). *)
+        let batch =
+          List.map
+            (fun ((qid, _, _) as item) ->
+              let old_plan = String_map.find qid parent.plans in
+              let decision =
+                match st.frugal with
+                | None ->
+                  if Cost_bound.plan_affected ctx old_plan then `Reoptimize
+                  else `Patch
+                | Some ledger -> (
+                  (* a pseudo plan is valid but suboptimal, so it is
+                     never silently patched along: every evaluation gives
+                     it a chance to improve — a warm cache entry, a
+                     budgeted re-optimization, or at least a re-patch
+                     against the current configuration *)
+                  match Hashtbl.find_opt decisions qid with
+                  | None -> `Patch
+                  | Some (`Cached p) -> `Cached p
+                  | Some (`Point p) -> `Point p
+                  | Some (`Paid) ->
+                    (* reserve exactly the one optimizer call the worker
+                       below will execute *)
+                    Frugal.debit ledger 1;
+                    `Reoptimize
+                  | Some (`Bound patched) -> `Bound patched)
+              in
+              (item, old_plan, decision))
+            batch
+        in
         let scored =
           Pool.map st.pool
-            (fun (qid, w, q) ->
-              let old_plan = String_map.find qid parent.plans in
-              if Cost_bound.plan_affected ctx old_plan then
-                (qid, w, true, O.Whatif.plan_select st.whatif config ~qid q)
-              else (qid, w, false, old_plan))
+            (fun ((qid, w, q), old_plan, decision) ->
+              match decision with
+              | `Patch -> (qid, w, `Patched, old_plan)
+              | `Cached p -> (qid, w, `Reoptimized, p)
+              | `Point p -> (qid, w, `Point_exact, p)
+              | `Reoptimize ->
+                (qid, w, `Reoptimized,
+                 O.Whatif.plan_select st.whatif config ~qid q)
+              | `Bound patched ->
+                (* No call: the upfront pass materialized the §3.3.2
+                   patched plan — a valid plan under [config] whose cost
+                   is the model's upper bound.  Keep the cheaper of it
+                   and the query's base-configuration plan (valid under
+                   any configuration).  Either way the stored plan is
+                   real, so affected-tests and bounds computed from it at
+                   later relaxations stay sound; it is merely
+                   suboptimal, which the [pseudo] marker records. *)
+                let base =
+                  O.Whatif.find_cached st.whatif st.opts.protected ~qid
+                    ~tables:q.Query.body.tables
+                in
+                let plan =
+                  match (patched, base) with
+                  | Some p, Some (b : O.Plan.t) ->
+                    if b.cost < p.O.Plan.cost then b else p
+                  | Some p, None -> p
+                  | None, Some b -> b
+                  | None, None ->
+                    (* unreachable in practice: the base-configuration
+                       pass pre-optimized every select.  Degrade to the
+                       surviving plan — sound only as long as nothing
+                       relies on its accesses, hence last resort. *)
+                    old_plan
+                in
+                (qid, w, `Bound_costed, plan))
             batch
         in
         List.iter
-          (fun (qid, w, reoptimized, (plan : O.Plan.t)) ->
-            if reoptimized then Obs.Probe.plan_reoptimized ()
-            else Obs.Probe.plan_patched ();
+          (fun (qid, w, how, (plan : O.Plan.t)) ->
+            (match how with
+            | `Reoptimized -> Obs.Probe.plan_reoptimized ()
+            | `Patched ->
+              Obs.Probe.plan_patched ();
+              (* a surviving plan inherits its pseudo status *)
+              if String_map.mem qid parent.pseudo then
+                pseudo := String_map.add qid () !pseudo
+            | `Point_exact ->
+              (* an exact cost obtained without a call: the patched plan
+                 provably achieves the removal's lower bound *)
+              Obs.Probe.plan_patched ();
+              Obs.Probe.count "whatif.point_exact"
+            | `Bound_costed ->
+              Obs.Probe.plan_patched ();
+              Obs.Probe.count "whatif.bound_costed";
+              pseudo := String_map.add qid () !pseudo);
             total := !total +. (w *. plan.cost);
             if st.opts.shortcut_evaluation && !total > best_cost *. 3.0 then
               raise Shortcut;
@@ -407,6 +631,7 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
         parent = Some parent.id;
         via = Some tr;
         actual_penalty;
+        pseudo = !pseudo;
         untried = [];
         candidates_ready = false;
         pruned = false;
@@ -527,11 +752,18 @@ let rank_candidates st (n : node) : candidate list =
           Some (tr, config', affected, ctx))
       transforms
   in
+  let order_by_of qid =
+    match List.find_opt (fun (q, _, _) -> q = qid) st.prepared.selects with
+    | Some (_, _, (sq : Query.select_query)) -> sq.order_by
+    | None -> []
+  in
+  let frugal_on = st.frugal <> None in
   (* Phase 2, parallel: score each applied transformation — incremental
      size (only the structures that changed are re-measured; heaps are
-     cheap cached lookups), §3.3.2 cost upper bound, update-shell delta.
-     Everything here reads shared state through locks ([size_cache],
-     [cbv_cache], the catalog memos pre-filled in phase 1). *)
+     cheap cached lookups), §3.3.2 cost upper bound (and, in frugal mode,
+     the matching lower bound), update-shell delta.  Everything here reads
+     shared state through locks ([size_cache], [cbv_cache], the catalog
+     memos pre-filled in phase 1). *)
   let score (tr, config', affected, ctx) =
     let removed =
       Index.Set.diff (Config.index_set n.config) (Config.index_set config')
@@ -545,65 +777,201 @@ let rank_candidates st (n : node) : candidate list =
       +. Index.Set.fold (fun i a -> a +. index_size st config' i) added 0.0
     in
     let delta_space = n.size -. size' in
-    let delta_selects =
+    let delta_selects, delta_selects_lo =
       match ctx with
-      | None -> 0.0
+      | None -> (0.0, 0.0)
       | Some ctx ->
         List.fold_left
-          (fun acc (qid, w) ->
+          (fun ((hi, lo) as acc) (qid, w) ->
             let plan = String_map.find qid n.plans in
-            if Cost_bound.plan_affected ctx plan then
-              let order_by =
-                match
-                  List.find_opt (fun (q, _, _) -> q = qid) st.prepared.selects
-                with
-                | Some (_, _, (sq : Query.select_query)) -> sq.order_by
-                | None -> []
+            if Cost_bound.plan_affected ctx plan then begin
+              let order_by = order_by_of qid in
+              let hi =
+                hi
+                +. (w
+                   *. (Cost_bound.query_bound ~order_by ctx plan
+                      -. plan.O.Plan.cost))
               in
-              acc
-              +. (w
-                 *. (Cost_bound.query_bound ~order_by ctx plan
-                    -. plan.O.Plan.cost))
+              let lo =
+                if frugal_on then
+                  lo
+                  +. (w
+                     *. (Cost_bound.query_lower_bound ~order_by ctx plan
+                        -. plan.O.Plan.cost))
+                else hi
+              in
+              (hi, lo)
+            end
             else acc)
-          0.0 affected
+          (0.0, 0.0) affected
     in
     let delta_shell =
       if st.prepared.dmls = [] then 0.0
       else shell_cost_of st config' -. n.shell_cost
     in
     let delta_cost = delta_selects +. delta_shell in
+    let delta_cost_lo =
+      if frugal_on then delta_selects_lo +. delta_shell else delta_cost
+    in
     if delta_space <= 0.0 && delta_cost >= 0.0 then None
-    else Some { tr; penalty = 0.0; delta_cost; delta_space }
+    else
+      Some
+        ( { tr; penalty = 0.0; delta_cost; delta_cost_lo; delta_space },
+          (config', affected, ctx, delta_shell) )
   in
   let raw = List.filter_map Fun.id (Pool.map st.pool score applied) in
   (* skyline filtering for update workloads: drop dominated transformations
      (§3.6: a transformation with lower cost increase AND larger space
      saving dominates) *)
-  let raw = if not st.prepared.has_updates then raw else skyline_filter raw in
+  let raw =
+    if not st.prepared.has_updates then raw
+    else begin
+      let kept = skyline_filter (List.map fst raw) in
+      List.filter (fun (c, _) -> List.memq c kept) raw
+    end
+  in
   let over_budget = n.size -. st.opts.space_budget in
+  let penalty_of ~delta_space dt =
+    if over_budget <= 0.0 then
+      (* already fits: only meaningful with updates, ranked by ΔT *)
+      dt
+    else begin
+      let denom = Float.min over_budget delta_space in
+      if denom > 0.0 then dt /. denom
+      else
+        (* non-shrinking while over budget: rank below every shrinking
+           candidate, whatever its ΔT *)
+        1e12 +. dt
+    end
+  in
   let with_penalty =
     List.map
-      (fun c ->
-        let penalty =
-          if over_budget <= 0.0 then
-            (* already fits: only meaningful with updates, ranked by ΔT *)
-            c.delta_cost
-          else begin
-            let denom = Float.min over_budget c.delta_space in
-            if denom > 0.0 then c.delta_cost /. denom
-            else
-              (* non-shrinking while over budget: rank below every
-                 shrinking candidate, whatever its ΔT *)
-              1e12 +. c.delta_cost
-          end
-        in
-        { c with penalty })
+      (fun (c, aux) ->
+        ({ c with penalty = penalty_of ~delta_space:c.delta_space c.delta_cost },
+         aux))
       raw
   in
   let sorted =
-    List.sort (fun a b -> Float.compare a.penalty b.penalty) with_penalty
+    List.sort
+      (fun (a, _) (b, _) -> Float.compare a.penalty b.penalty)
+      with_penalty
   in
-  List.filteri (fun i _ -> i < st.opts.max_candidates_per_node) sorted
+  let capped =
+    List.filteri (fun i _ -> i < st.opts.max_candidates_per_node) sorted
+  in
+  match st.frugal with
+  | None -> List.map fst capped
+  | Some ledger ->
+    (* The frugal tier.  Decide the ranking from ΔT intervals
+       [delta_cost_lo, delta_cost]; spend budgeted what-if calls only on
+       candidates straddling the decision threshold, widest penalty gap
+       first (see {!Frugal.sweep}).  Runs sequentially on the main domain,
+       so the call sequence — and with it every counter and cache state —
+       is identical whatever [opts.jobs]. *)
+    let tables_of qid =
+      match List.find_opt (fun (q, _, _) -> q = qid) st.prepared.selects with
+      | Some (_, _, (sq : Query.select_query)) -> sq.body.tables
+      | None -> []
+    in
+    let select_of qid =
+      List.find_opt (fun (q, _, _) -> q = qid) st.prepared.selects
+    in
+    let fcands =
+      List.map
+        (fun ((c, _) as payload) ->
+          Frugal.cand payload { Frugal.lo = c.delta_cost_lo; hi = c.delta_cost })
+        capped
+    in
+    let penalty ~payload ~dt =
+      let (c : candidate), _ = payload in
+      penalty_of ~delta_space:c.delta_space dt
+    in
+    (* Free tightening: raise the interval's lower end with the advisory
+       floor the what-if layer derives from structure-comparable
+       configurations it already optimized (floors sharpen as budgeted
+       calls land anywhere).  The upper end deliberately stays the model
+       bound: evaluation stores exactly the model's patched plan for
+       un-budgeted queries, so an advisory-lowered upper end could drop
+       below the realized cost and break the realized-≤-predicted
+       invariant the differential checker enforces. *)
+    let tighten (fc : _ Frugal.cand) =
+      let _, (config', affected, ctx, delta_shell) = fc.Frugal.payload in
+      match ctx with
+      | None -> ()
+      | Some ctx ->
+        let lo = ref delta_shell in
+        List.iter
+          (fun (qid, w) ->
+            let plan = String_map.find qid n.plans in
+            if Cost_bound.plan_affected ctx plan then begin
+              let alo, _ =
+                O.Whatif.cost_interval st.whatif config' ~qid
+                  ~tables:(tables_of qid)
+              in
+              lo := !lo +. (w *. (alo -. plan.O.Plan.cost))
+            end)
+          affected;
+        fc.Frugal.ival <-
+          Frugal.tighten_with fc.Frugal.ival
+            ~advisory:{ Frugal.lo = !lo; hi = infinity }
+    in
+    (* refinement: re-optimize the affected queries for real, debiting the
+       ledger per optimizer call actually executed (cache hits are free);
+       queries the budget could not cover keep their model bounds, leaving
+       a mixed — but still valid — interval *)
+    let refine (fc : _ Frugal.cand) =
+      let _, (config', affected, ctx, delta_shell) = fc.Frugal.payload in
+      match ctx with
+      | None -> ()
+      | Some ctx ->
+        let lo = ref delta_shell and hi = ref delta_shell in
+        List.iter
+          (fun (qid, w) ->
+            let plan = String_map.find qid n.plans in
+            if Cost_bound.plan_affected ctx plan then begin
+              match select_of qid with
+              | Some (_, _, sq) when Frugal.rank_remaining ledger > 0 ->
+                let calls_before = fst (O.Whatif.stats st.whatif) in
+                let plan' = O.Whatif.plan_select st.whatif config' ~qid sq in
+                Frugal.debit ledger
+                  (fst (O.Whatif.stats st.whatif) - calls_before);
+                let d = w *. (plan'.O.Plan.cost -. plan.O.Plan.cost) in
+                lo := !lo +. d;
+                hi := !hi +. d
+              | _ ->
+                let order_by = order_by_of qid in
+                lo :=
+                  !lo
+                  +. (w
+                     *. (Cost_bound.query_lower_bound ~order_by ctx plan
+                        -. plan.O.Plan.cost));
+                hi :=
+                  !hi
+                  +. (w
+                     *. (Cost_bound.query_bound ~order_by ctx plan
+                        -. plan.O.Plan.cost))
+            end)
+          affected;
+        fc.Frugal.ival <-
+          Frugal.tighten_with
+            { Frugal.lo = !lo; hi = !hi }
+            ~advisory:fc.Frugal.ival
+    in
+    Frugal.sweep ledger ~penalty ~tighten ~refine fcands;
+    let updated =
+      List.map
+        (fun (fc : _ Frugal.cand) ->
+          let c, _ = fc.Frugal.payload in
+          let dt = fc.Frugal.ival.Frugal.hi in
+          {
+            c with
+            delta_cost = dt;
+            delta_cost_lo = fc.Frugal.ival.Frugal.lo;
+            penalty = penalty_of ~delta_space:c.delta_space dt;
+          })
+        fcands
+    in
+    List.stable_sort (fun a b -> Float.compare a.penalty b.penalty) updated
 
 let ensure_candidates st n =
   if not n.candidates_ready then begin
@@ -742,6 +1110,10 @@ type outcome = {
   candidates_per_iteration : int list;
   optimizer_calls : int;
   cache_hits : int;
+  whatif : O.Whatif.t;
+      (** the search's what-if interface, cache warm with every plan the
+          run optimized — reusing it to re-cost the recommended
+          configuration avoids a second round of optimizer calls *)
 }
 
 (* One JSONL event per search iteration: the chosen transformation, its
@@ -828,6 +1200,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       cbv_cache = Hashtbl.create 16;
       size_lock = Mutex.create ();
       size_cache = Hashtbl.create 256;
+      frugal = Option.map (fun budget -> Frugal.create ~budget) opts.whatif_budget;
       rand =
         Random.State.make
           [| (match opts.selection with Random seed -> seed | _ -> 0) |];
@@ -839,6 +1212,20 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
      shared catalog memo on first sight of a view) *)
   ignore (O.Env.make catalog opts.protected);
   ignore (O.Env.make catalog initial);
+  (* Frugal runs pre-optimize every select under the protected base
+     configuration.  The base configuration is a subset of every
+     configuration the search visits, so its plans are valid — and their
+     costs sound upper bounds — everywhere: they are the universal
+     fallback when the budget cannot pay for a re-optimization and the
+     patched plan drifts loose.  The same cache entries serve the tuner's
+     base-configuration report, so the pass costs the run nothing net. *)
+  (match opts.whatif_budget with
+  | None -> ()
+  | Some _ ->
+    ignore
+      (Pool.map pool
+         (fun (qid, _, q) -> O.Whatif.plan_select whatif opts.protected ~qid q)
+         prepared.selects));
   (* evaluate the initial configuration from scratch, in batches on the
      worker domains, folding costs sequentially in workload order *)
   let shell = shell_cost_of st initial in
@@ -877,6 +1264,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       parent = None;
       via = None;
       actual_penalty = 0.0;
+      pseudo = String_map.empty;
       untried = [];
       candidates_ready = false;
       pruned = false;
@@ -976,6 +1364,107 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
                })
      done
    with Exit -> ());
+  (* Endgame re-ranking (frugal only).  The loop compared configurations
+     by bound-substituted costs, so among close contenders the best node
+     may be mis-identified.  Re-cost the cheapest valid configurations
+     honestly — pseudo plans only, through the warm cache, cheapest
+     first, whole nodes only — spending what is left of the budget, then
+     re-pick the best.  Sequential on the main domain, so the spend
+     sequence (and hence the recommendation) is identical at any
+     [jobs]. *)
+  (match st.frugal with
+  | None -> ()
+  | Some ledger ->
+    let by_cost a b =
+      match Float.compare a.cost b.cost with
+      | 0 -> Int.compare a.id b.id
+      | c -> c
+    in
+    let contenders =
+      List.sort by_cost
+        (List.filter (fun n -> n.size <= opts.space_budget) st.nodes)
+    in
+    let recost (n : node) : node =
+      if String_map.is_empty n.pseudo then n
+      else begin
+        let cached =
+          List.filter_map
+            (fun ((qid, _, q) as e) ->
+              if String_map.mem qid n.pseudo then
+                Some
+                  ( e,
+                    O.Whatif.find_cached st.whatif n.config ~qid
+                      ~tables:q.Query.body.tables )
+              else None)
+            st.prepared.selects
+        in
+        (* cached plans are free; commit only when the ledger covers
+           every miss — partial honesty would spend calls without making
+           the node's cost comparable to fully honest ones *)
+        let misses =
+          List.length (List.filter (fun (_, p) -> Option.is_none p) cached)
+        in
+        if misses > Frugal.remaining ledger then n
+        else begin
+          Frugal.debit ledger misses;
+          Obs.Probe.count_n "whatif.endgame_spent" misses;
+          let plans = ref n.plans and delta = ref 0.0 in
+          List.iter
+            (fun ((qid, w, q), cp) ->
+              let p =
+                match cp with
+                | Some p -> p
+                | None -> O.Whatif.plan_select st.whatif n.config ~qid q
+              in
+              let old = String_map.find qid n.plans in
+              delta := !delta +. (w *. (p.O.Plan.cost -. old.O.Plan.cost));
+              plans := String_map.add qid p !plans)
+            cached;
+          {
+            n with
+            plans = !plans;
+            select_cost = n.select_cost +. !delta;
+            cost = n.cost +. !delta;
+            pseudo = String_map.empty;
+          }
+        end
+      end
+    in
+    let replaced = Hashtbl.create 16 in
+    List.iter
+      (fun n ->
+        let n' = recost n in
+        if n' != n then Hashtbl.replace replaced n.id n')
+      contenders;
+    if Hashtbl.length replaced > 0 then begin
+      st.nodes <-
+        List.map
+          (fun n ->
+            match Hashtbl.find_opt replaced n.id with
+            | Some n' ->
+              Hashtbl.replace st.by_id n.id n';
+              n'
+            | None -> n)
+          st.nodes;
+      let best =
+        match
+          List.sort by_cost
+            (List.filter (fun n -> n.size <= opts.space_budget) st.nodes)
+        with
+        | [] -> None
+        | n :: _ -> Some n
+      in
+      match best with
+      | None -> ()
+      | Some n ->
+        let changed =
+          match st.best with
+          | None -> true
+          | Some b -> b.id <> n.id || not (Cost_bound.float_eq b.cost n.cost)
+        in
+        st.best <- Some n;
+        if changed then best_trace := (st.iterations, n.cost) :: !best_trace
+    end);
   let calls, hits = O.Whatif.stats whatif in
   {
     initial = root;
@@ -987,4 +1476,5 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
     candidates_per_iteration = List.rev st.candidates_trace;
     optimizer_calls = calls;
     cache_hits = hits;
+    whatif;
   }

@@ -61,6 +61,15 @@ type options = {
           re-optimization; 1 = fully sequential.  The recommended
           configuration, costs, frontier and trace event counts are
           identical whatever the value. *)
+  whatif_budget : int option;
+      (** [Some n]: frugal costing (see {!Frugal}) — candidate decisions
+          come from ΔT bound intervals, at most [n] what-if optimizer
+          calls are spent refining straddling candidates across the whole
+          run, and node evaluation substitutes §3.3.2 bound costs for
+          re-optimizations the budget did not cover.  [None] (default):
+          the frugal tier is entirely off and the search behaves exactly
+          as without it.  The frugal sweep runs sequentially on the main
+          domain, so results stay deterministic at any [jobs]. *)
   on_iteration : (iteration_report -> unit) option;
       (** invoked once per iteration, after evaluation and trace emission,
           from the main domain (never from workers).  Used by the
@@ -76,6 +85,9 @@ type candidate = {
   tr : Transform.t;
   penalty : float;
   delta_cost : float;  (** ΔT: upper-bound cost increase *)
+  delta_cost_lo : float;
+      (** ΔT lower bound; equals [delta_cost] outside frugal mode and for
+          candidates the frugal sweep refined to an exact value *)
   delta_space : float;  (** ΔS: space saved *)
 }
 
@@ -91,6 +103,9 @@ type node = {
   parent : int option;
   via : Transform.t option;
   actual_penalty : float;
+  pseudo : unit String_map.t;
+      (** frugal runs only: the select qids whose plan carries a
+          bound-substituted (not re-optimized) cost; empty on exact runs *)
   mutable untried : candidate list;
   mutable candidates_ready : bool;
   mutable pruned : bool;
@@ -123,6 +138,11 @@ type outcome = {
   candidates_per_iteration : int list;  (** Figure 6 series *)
   optimizer_calls : int;
   cache_hits : int;
+  whatif : O.Whatif.t;
+      (** the search's what-if interface, cache warm with every plan the
+          run optimized; callers can re-cost configurations explored by
+          the search (e.g. the recommended one) without paying fresh
+          optimizer calls *)
 }
 
 val run :

@@ -43,6 +43,11 @@ let kind = function
   | Remove_view _ -> "remove_view"
 
 (** The index structures a transformation removes from the configuration. *)
+let adds_structures = function
+  | Remove_index _ | Remove_view _ -> false
+  | Merge_indexes _ | Split_indexes _ | Prefix_index _ | Promote_clustered _
+  | Merge_views _ -> true
+
 let removed_indexes config = function
   | Merge_indexes (a, b) | Split_indexes (a, b) -> [ a; b ]
   | Prefix_index (a, _) -> [ a ]

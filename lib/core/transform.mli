@@ -24,6 +24,13 @@ val kind : t -> string
 (** The constructor name in snake case ([merge_indexes], [remove_view],
     ...): the per-kind key used by metrics and trace events. *)
 
+val adds_structures : t -> bool
+(** Does the transformation introduce replacement structures (merged,
+    split, prefixed or promoted indexes, a merged view)?  [false] exactly
+    for pure removals ([Remove_index], [Remove_view]): those shrink the
+    plan space, so the old plan's cost is a sound lower bound on the
+    re-optimized cost (see {!Cost_bound.query_lower_bound}). *)
+
 val removed_indexes : Config.t -> t -> Index.t list
 (** Indexes leaving the configuration (for view transformations: every
     index over the removed views). *)

@@ -31,6 +31,13 @@ type options = {
   jobs : int;
       (** worker domains for the parallel search; 1 = sequential.  The
           recommendation is identical whatever the value. *)
+  whatif_budget : int option;
+      (** frugal costing (see {!Search.options.whatif_budget}): cap on the
+          what-if optimizer calls the relaxation ranking may spend;
+          [None] = unlimited (the frugal tier is off).  With a finite
+          budget the recommended cost is re-derived from exact per-query
+          what-if costs after the search, so the reported numbers are
+          honest even when the search ran on bound-costed plans. *)
   on_iteration : (Search.iteration_report -> unit) option;
       (** per-iteration hook threaded to {!Search.run}; used by the
           differential invariant checker ([Relax_check]) *)
@@ -47,6 +54,7 @@ let default_options ?(mode = Indexes_and_views) ~space_budget () =
     shrink_configurations = false;
     selection = Search.Penalty;
     jobs = Relax_parallel.Pool.default_jobs ();
+    whatif_budget = None;
     on_iteration = None;
   }
 
@@ -111,6 +119,7 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
       shrink_configurations = options.shrink_configurations;
       selection = options.selection;
       jobs = options.jobs;
+      whatif_budget = options.whatif_budget;
       on_iteration = options.on_iteration;
     }
   in
@@ -119,30 +128,82 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
     Search.run catalog ~workload ~initial:inst.optimal search_opts
   in
   Relax_obs.Recorder.with_span recorder "tuner.report" @@ fun () ->
-  let per_query_whatif = O.Whatif.create catalog in
-  let per_entry config =
-    O.Whatif.per_entry_costs per_query_whatif config workload
+  (* Every report cost goes through the search's own what-if interface:
+     its cache already holds every plan the search optimized (frugal runs
+     even pre-costed the base configuration as their re-anchoring pass),
+     so the report pays one per-entry pass over the base configuration at
+     most — not three passes as a naive implementation would. *)
+  let base_entries =
+    O.Whatif.per_entry_costs outcome.whatif options.base_config workload
   in
-  let initial_cost = workload_cost catalog options.base_config workload in
+  let initial_cost =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 base_entries
+  in
   let initial_size = Config.total_bytes catalog options.base_config in
-  let recommended_node =
+  let recommended, recommended_size =
     match outcome.best with
-    | Some n -> n
+    | Some n -> (n.Search.config, n.Search.size)
     | None ->
       (* nothing fit the budget: fall back to the base configuration *)
-      outcome.initial
+      (options.base_config, initial_size)
   in
-  let recommended, recommended_cost, recommended_size =
+  (* Per-entry weighted costs of a node's configuration, read straight off
+     its evaluated plans — no optimizer calls. *)
+  let entries_of_node (n : Search.node) =
+    let env = lazy (O.Env.make catalog n.Search.config) in
+    List.map
+      (fun (e : Query.entry) ->
+        let cost =
+          match e.stmt with
+          | Query.Select _ ->
+            (Search.String_map.find e.qid n.Search.plans).O.Plan.cost
+          | Query.Dml d ->
+            let select_cost =
+              match
+                Search.String_map.find_opt (e.qid ^ ":select") n.Search.plans
+              with
+              | Some (p : O.Plan.t) -> p.cost
+              | None -> 0.0
+            in
+            select_cost
+            +. O.Update_cost.shell_cost (Lazy.force env) n.Search.config d
+        in
+        (e.qid, e.weight *. cost))
+      workload
+  in
+  (* Frugal runs carry bound-costed plans in their nodes, so the
+     recommended cost is re-derived from per-query what-if costs (through
+     the search's warm cache — only plans the budget skipped are paid
+     for); exact runs read the node's plans directly. *)
+  let recommended_entries =
     match outcome.best with
-    | Some n -> (n.config, n.cost, n.size)
-    | None -> (options.base_config, initial_cost, initial_size)
+    | None -> base_entries
+    | Some n ->
+      if options.whatif_budget = None then entries_of_node n
+      else
+        (* only the entries whose plan the budget skipped need a real
+           what-if cost; the rest are exact on the node already *)
+        List.map2
+          (fun (qid, c) (e : Query.entry) ->
+            let is_pseudo =
+              match e.stmt with
+              | Query.Select _ ->
+                Search.String_map.mem e.qid n.Search.pseudo
+              | Query.Dml _ ->
+                Search.String_map.mem (e.qid ^ ":select") n.Search.pseudo
+            in
+            if is_pseudo then
+              (qid, e.weight *. O.Whatif.entry_cost outcome.whatif recommended e)
+            else (qid, c))
+          (entries_of_node n) workload
   in
-  ignore recommended_node;
+  let recommended_cost =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 recommended_entries
+  in
   let per_query =
     List.map2
       (fun (qid, before) (_, after) -> (qid, before, after))
-      (per_entry options.base_config)
-      (per_entry recommended)
+      base_entries recommended_entries
   in
   (* §3.6 lower bound: optimal select cost plus base-configuration shell
      cost; with no updates this is simply the optimal configuration cost *)

@@ -21,6 +21,12 @@ type options = {
       (** worker domains for the parallel search; 1 = sequential.  The
           recommendation, costs, frontier and trace event counts are
           identical whatever the value. *)
+  whatif_budget : int option;
+      (** frugal costing (see {!Search.options.whatif_budget}): cap on the
+          what-if optimizer calls the relaxation ranking may spend;
+          [None] = unlimited (frugal tier off).  With a finite budget
+          [result.recommended_cost] is re-derived from exact per-query
+          what-if costs after the search. *)
   on_iteration : (Search.iteration_report -> unit) option;
       (** per-iteration hook threaded to {!Search.run}; used by the
           differential invariant checker ([Relax_check]) *)

@@ -1,21 +1,30 @@
 (** Perf-regression comparison of two bench JSON outputs.
 
-    Compares a current [BENCH_parallel.json] (the jobs-sweep output of
-    [bench/main.exe micro]) against a committed baseline, run by run
-    (matched on the [jobs] field), metric by metric, against relative
-    thresholds.  Deterministic work counters (what-if calls,
+    Compares a current bench JSON (the jobs-sweep [BENCH_parallel.json] or
+    the frugality [BENCH_frugal.json] of [bench/main.exe micro]) against a
+    committed baseline, run by run (matched on a string [label] field when
+    present, else on the integer [jobs] field), metric by metric, against
+    relative thresholds.  Deterministic work counters (what-if calls,
     configurations evaluated) get a tight tolerance — on the same
     workload they should not move at all — while wall-clock metrics
     (elapsed, throughput) get a loose one, since CI machines are noisy.
 
-    Outcomes map onto [bin/perfdiff.exe] exit codes: [Ok] with no
-    regressions → 0, at least one regression → 1, malformed or missing
-    input → 2.  The CI perf-smoke job soft-fails (annotates) on 1 and
-    hard-fails on 2. *)
+    Each metric carries a severity: a [Soft] breach is advisory, a [Hard]
+    breach (what-if calls — the very thing the frugal tier exists to keep
+    down) fails the gate outright.  [Optional] metrics (the frugality
+    counters) are skipped silently when absent from either file, so the
+    jobs-sweep baseline needs no dummy fields.
+
+    Outcomes map onto [bin/perfdiff.exe] exit codes: no breach → 0, soft
+    breaches only → 1, malformed or missing input → 2, at least one hard
+    breach → 3.  The CI perf-smoke job soft-fails (annotates) on 1 and
+    hard-fails on 2 and 3. *)
 
 type comparison = {
   lines : string list;  (** one human-readable line per compared metric *)
   regressions : string list;  (** subset of [lines] that breached a threshold *)
+  hard_regressions : string list;
+      (** subset of [regressions] on [Hard]-severity metrics *)
 }
 
 (* how a metric can regress *)
@@ -26,13 +35,23 @@ type direction =
 
 type kind = Counter | Timing
 
-let metrics : (string * direction * kind) list =
+(* whether a breach fails the gate or only annotates *)
+type severity = Soft | Hard
+
+(* [Required] metrics must be present in every run; [Optional] ones are
+   compared only when both runs carry them *)
+type presence = Required | Optional
+
+let metrics : (string * direction * kind * severity * presence) list =
   [
-    ("what_if_calls", Up_bad, Counter);
-    ("cache_hits", Down_bad, Counter);
-    ("configurations_evaluated", Change_bad, Counter);
-    ("elapsed_s", Up_bad, Timing);
-    ("throughput_configs_per_s", Down_bad, Timing);
+    ("what_if_calls", Up_bad, Counter, Hard, Required);
+    ("cache_hits", Down_bad, Counter, Soft, Required);
+    ("configurations_evaluated", Change_bad, Counter, Soft, Required);
+    ("elapsed_s", Up_bad, Timing, Soft, Required);
+    ("throughput_configs_per_s", Down_bad, Timing, Soft, Required);
+    ("bound_accepts", Change_bad, Counter, Soft, Optional);
+    ("bound_rejects", Change_bad, Counter, Soft, Optional);
+    ("budget_spent", Up_bad, Counter, Soft, Optional);
   ]
 
 let field_float name j =
@@ -40,7 +59,17 @@ let field_float name j =
   | Some f -> Ok f
   | None -> Error (Printf.sprintf "missing numeric field %S" name)
 
-let runs_by_jobs j =
+(* the run key: a string "label" when present (BENCH_frugal.json), else
+   "jobs=<n>" (BENCH_parallel.json) *)
+let run_key run =
+  match Option.bind (Json.member "label" run) Json.to_string_opt with
+  | Some l -> Ok l
+  | None -> (
+    match Option.bind (Json.member "jobs" run) Json.to_int with
+    | Some jobs -> Ok (Printf.sprintf "jobs=%d" jobs)
+    | None -> Error "run without a string \"label\" or integer \"jobs\" field")
+
+let keyed_runs j =
   match Json.member "runs" j with
   | Some (Json.List runs) ->
     List.fold_left
@@ -48,57 +77,75 @@ let runs_by_jobs j =
         match acc with
         | Error _ as e -> e
         | Ok acc -> (
-          match Option.bind (Json.member "jobs" run) Json.to_int with
-          | Some jobs -> Ok ((jobs, run) :: acc)
-          | None -> Error "run without an integer \"jobs\" field"))
+          match run_key run with
+          | Ok key -> Ok ((key, run) :: acc)
+          | Error _ as e -> e))
       (Ok []) runs
     |> Result.map List.rev
   | Some _ -> Error "\"runs\" is not a list"
   | None -> Error "no \"runs\" field"
 
-let compare_runs ~counter_tol ~time_tol ~jobs base cur =
+let compare_runs ~counter_tol ~time_tol ~key base cur =
   let ( let* ) = Result.bind in
   List.fold_left
-    (fun acc (name, dir, kind) ->
-      let* lines, regs = acc in
-      let* b = field_float name base in
-      let* c = field_float name cur in
-      let tol = match kind with Counter -> counter_tol | Timing -> time_tol in
-      let change = (c -. b) /. Float.max 1e-9 (Float.abs b) in
-      let breach =
-        match dir with
-        | Up_bad -> change > tol
-        | Down_bad -> change < -.tol
-        | Change_bad -> Float.abs change > tol
-      in
-      let line =
-        Printf.sprintf "%s jobs=%d %-26s baseline %12.2f current %12.2f (%+.1f%%, tolerance %.0f%%)"
-          (if breach then "REGRESSION" else "ok        ")
-          jobs name b c (100.0 *. change) (100.0 *. tol)
-      in
-      Ok (line :: lines, if breach then line :: regs else regs))
-    (Ok ([], [])) metrics
+    (fun acc (name, dir, kind, severity, presence) ->
+      let* lines, regs, hard = acc in
+      match (field_float name base, field_float name cur) with
+      | (Error _, _ | _, Error _) when presence = Optional ->
+        (* frugality counters: only compared when both sides carry them *)
+        Ok (lines, regs, hard)
+      | Error e, _ | _, Error e -> Error e
+      | Ok b, Ok c ->
+        let tol =
+          match kind with Counter -> counter_tol | Timing -> time_tol
+        in
+        let change = (c -. b) /. Float.max 1e-9 (Float.abs b) in
+        let breach =
+          match dir with
+          | Up_bad -> change > tol
+          | Down_bad -> change < -.tol
+          | Change_bad -> Float.abs change > tol
+        in
+        let line =
+          Printf.sprintf
+            "%s %s %-26s baseline %12.2f current %12.2f (%+.1f%%, tolerance %.0f%%)"
+            (match (breach, severity) with
+            | false, _ -> "ok        "
+            | true, Hard -> "HARD REGR."
+            | true, Soft -> "REGRESSION")
+            key name b c (100.0 *. change) (100.0 *. tol)
+        in
+        Ok
+          ( line :: lines,
+            (if breach then line :: regs else regs),
+            if breach && severity = Hard then line :: hard else hard ))
+    (Ok ([], [], [])) metrics
 
 let compare_json ?(counter_tol = 0.10) ?(time_tol = 0.50) ~baseline ~current ()
     : (comparison, string) result =
   let ( let* ) = Result.bind in
-  let* base_runs = runs_by_jobs baseline in
-  let* cur_runs = runs_by_jobs current in
+  let* base_runs = keyed_runs baseline in
+  let* cur_runs = keyed_runs current in
   let* () = if base_runs = [] then Error "baseline has no runs" else Ok () in
   let* rev =
     List.fold_left
-      (fun acc (jobs, base) ->
-        let* lines, regs = acc in
-        match List.assoc_opt jobs cur_runs with
+      (fun acc (key, base) ->
+        let* lines, regs, hard = acc in
+        match List.assoc_opt key cur_runs with
         | None ->
-          Error (Printf.sprintf "current output has no run with jobs=%d" jobs)
+          Error (Printf.sprintf "current output has no run matching %S" key)
         | Some cur ->
-          let* l, r = compare_runs ~counter_tol ~time_tol ~jobs base cur in
-          Ok (l @ lines, r @ regs))
-      (Ok ([], [])) base_runs
+          let* l, r, h = compare_runs ~counter_tol ~time_tol ~key base cur in
+          Ok (l @ lines, r @ regs, h @ hard))
+      (Ok ([], [], [])) base_runs
   in
-  let lines, regressions = rev in
-  Ok { lines = List.rev lines; regressions = List.rev regressions }
+  let lines, regressions, hard_regressions = rev in
+  Ok
+    {
+      lines = List.rev lines;
+      regressions = List.rev regressions;
+      hard_regressions = List.rev hard_regressions;
+    }
 
 let load path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -116,5 +163,6 @@ let compare_files ?counter_tol ?time_tol ~baseline ~current () =
 
 let exit_code = function
   | Error _ -> 2
+  | Ok { hard_regressions = _ :: _; _ } -> 3
   | Ok { regressions = []; _ } -> 0
   | Ok _ -> 1

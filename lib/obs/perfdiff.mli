@@ -1,20 +1,31 @@
 (** Perf-regression comparison of two bench JSON outputs.
 
-    The library behind [bin/perfdiff.exe]: compares the jobs-sweep
-    [BENCH_parallel.json] emitted by [bench/main.exe micro] against a
-    committed baseline, matching runs by their [jobs] field and checking
-    every known metric against a relative threshold.  Deterministic work
-    counters (what-if calls up, cache hits down, configurations
-    evaluated drifting either way) use [counter_tol] (default 10 %);
-    wall-clock metrics (elapsed up, throughput down) use [time_tol]
-    (default 50 %, CI machines are noisy).
+    The library behind [bin/perfdiff.exe]: compares a bench JSON emitted
+    by [bench/main.exe micro] (the jobs-sweep [BENCH_parallel.json] or
+    the frugality [BENCH_frugal.json]) against a committed baseline,
+    matching runs by their string [label] field when present, else by
+    [jobs], and checking every known metric against a relative threshold.
+    Deterministic work counters (what-if calls up, cache hits down,
+    configurations evaluated drifting either way, the frugality counters)
+    use [counter_tol] (default 10 %); wall-clock metrics (elapsed up,
+    throughput down) use [time_tol] (default 50 %, CI machines are
+    noisy).
 
-    Exit-code mapping (see {!exit_code}): 0 = within thresholds, 1 = at
-    least one regression, 2 = malformed or missing input. *)
+    [what_if_calls] is a {e hard} gate: a breach exits 3 and fails CI
+    outright — it is the budget the frugal costing tier exists to keep
+    down.  Every other metric is soft (exit 1, CI annotates).  The
+    frugality counters ([bound_accepts], [bound_rejects], [budget_spent])
+    are optional: they are compared only when both runs carry them.
+
+    Exit-code mapping (see {!exit_code}): 0 = within thresholds, 1 = soft
+    regression(s) only, 2 = malformed or missing input, 3 = hard
+    regression(s). *)
 
 type comparison = {
   lines : string list;  (** one line per compared metric, run order *)
   regressions : string list;  (** the lines that breached their threshold *)
+  hard_regressions : string list;
+      (** subset of [regressions] on hard-gated metrics ([what_if_calls]) *)
 }
 
 val compare_json :
@@ -24,8 +35,8 @@ val compare_json :
   current:Json.t ->
   unit ->
   (comparison, string) result
-(** [Error msg] means malformed input (no runs, non-numeric fields, a
-    baseline run with no matching current run). *)
+(** [Error msg] means malformed input (no runs, non-numeric required
+    fields, a baseline run with no matching current run). *)
 
 val compare_files :
   ?counter_tol:float ->
@@ -36,4 +47,5 @@ val compare_files :
   (comparison, string) result
 
 val exit_code : (comparison, string) result -> int
-(** [0] clean, [1] regression(s), [2] malformed/missing input. *)
+(** [0] clean, [1] soft regression(s), [2] malformed/missing input,
+    [3] hard regression(s). *)

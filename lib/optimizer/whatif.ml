@@ -11,9 +11,18 @@
     The plan cache is sharded by key hash with a mutex per shard, and the
     call/hit counters are atomic, so worker domains can cost plans
     concurrently during the parallel relaxation.  An optimization runs
-    outside any shard lock (it can take milliseconds); if two domains ever
-    race on the same key they both optimize and one result wins, which is
-    harmless because plans are deterministic functions of the key. *)
+    outside any shard lock (it can take milliseconds); concurrent requests
+    for the same key are deduplicated through a per-shard in-flight set: the
+    first requester optimizes, later ones wait on the shard's condition
+    variable and count a cache hit, so the same key never pays two
+    optimizer calls whatever the parallelism.
+
+    Beyond exact-key memoization the layer keeps a per-query record of
+    every (structure set, cost) it has optimized, ordered by structure-set
+    inclusion: a recorded superset configuration's cost is a lower bound on
+    the current one's (more structures can only help), a recorded subset's
+    an upper bound.  {!cost_interval} serves these bounds to the frugal
+    costing tier without any optimizer call. *)
 
 module Query = Relax_sql.Query
 module Config = Relax_physical.Config
@@ -21,7 +30,10 @@ module Catalog = Relax_catalog.Catalog
 
 type shard = {
   shard_lock : Mutex.t;
+  resolved : Condition.t;
+      (** signalled under [shard_lock] when an in-flight optimize lands *)
   plans : (string, Plan.t) Hashtbl.t;
+  inflight : (string, unit) Hashtbl.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
 }
@@ -31,6 +43,10 @@ type t = {
   shards : shard array;
   optimizer_calls : int Atomic.t;  (** optimization calls actually executed *)
   cache_hits : int Atomic.t;
+  bounds_lock : Mutex.t;  (** guards [bounds] *)
+  bounds : (string, (string list * float) list ref) Hashtbl.t;
+      (** per qid: (sorted fingerprint entries, optimized plan cost) of
+          every sub-configuration ever optimized for that query *)
 }
 
 let shard_bits = 4
@@ -43,12 +59,16 @@ let create catalog =
       Array.init shard_count (fun _ ->
           {
             shard_lock = Mutex.create ();
+            resolved = Condition.create ();
             plans = Hashtbl.create 32;
+            inflight = Hashtbl.create 4;
             hits = Atomic.make 0;
             misses = Atomic.make 0;
           });
     optimizer_calls = Atomic.make 0;
     cache_hits = Atomic.make 0;
+    bounds_lock = Mutex.create ();
+    bounds = Hashtbl.create 32;
   }
 
 let stats t = (Atomic.get t.optimizer_calls, Atomic.get t.cache_hits)
@@ -68,34 +88,135 @@ let key config ~qid ~tables =
 let shard_index k = Hashtbl.hash k land (shard_count - 1)
 let series_of_shard i = Printf.sprintf "shard%02d" i
 
+(* --- the bound-aware (structure set, cost) record ----------------------- *)
+
+(* a fingerprint as its sorted entry list; the empty fingerprint has no
+   entries *)
+let fingerprint_entries fp = if fp = "" then [] else String.split_on_char '|' fp
+
+let is_clustered_entry e = String.length e >= 3 && String.sub e 0 3 = "cx["
+
+(* [a] ⊆ [b] as sorted string lists (merge walk) *)
+let rec subset_sorted a b =
+  match (a, b) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs, y :: ys ->
+    let c = String.compare x y in
+    if c = 0 then subset_sorted xs ys
+    else if c > 0 then subset_sorted a ys
+    else false
+
+(* Structure-set inclusion only orders costs when the two configurations
+   store the relations identically: a clustered index replaces its owner's
+   heap, so any difference in cx entries changes the physical base data and
+   breaks cost monotonicity.  *)
+let comparable_le a b =
+  subset_sorted a b
+  && List.filter is_clustered_entry a = List.filter is_clustered_entry b
+
+let record_bounds t ~qid ~fp (cost : float) =
+  let entries = fingerprint_entries fp in
+  Mutex.protect t.bounds_lock (fun () ->
+      match Hashtbl.find_opt t.bounds qid with
+      | Some l -> l := (entries, cost) :: !l
+      | None -> Hashtbl.add t.bounds qid (ref [ (entries, cost) ]))
+
+(** Advisory (lower, upper) bounds on the optimized plan cost of [qid]
+    under [config], from costs already paid for comparable configurations:
+    a recorded superset's cost bounds from below, a recorded subset's from
+    above.  [(0., infinity)] when nothing comparable was ever optimized.
+    No optimizer call is made. *)
+let cost_interval t config ~qid ~tables : float * float =
+  let mine = fingerprint_entries (Config.fingerprint_for_tables config tables) in
+  Mutex.protect t.bounds_lock (fun () ->
+      match Hashtbl.find_opt t.bounds qid with
+      | None -> (0.0, infinity)
+      | Some l ->
+        List.fold_left
+          (fun (lo, hi) (entries, cost) ->
+            let lo =
+              if comparable_le mine entries then Float.max lo cost else lo
+            in
+            let hi =
+              if comparable_le entries mine then Float.min hi cost else hi
+            in
+            (lo, hi))
+          (0.0, infinity) !l)
+
+(* --- plan lookup and optimization --------------------------------------- *)
+
+let count_hit t sh i ~qid =
+  Atomic.incr t.cache_hits;
+  Atomic.incr sh.hits;
+  Relax_obs.Probe.cache_hit ~qid;
+  Relax_obs.Probe.counter_series "whatif.cache_hits"
+    ~series:(series_of_shard i)
+    (float_of_int (Atomic.get sh.hits))
+
+(** Memoized plan for [qid] under [config], when one is already cached.
+    Never optimizes and counts nothing: a peek for the frugal evaluation
+    tier, which substitutes a bound-costed plan on a miss instead of
+    paying the optimizer call. *)
+let find_cached t config ~qid ~tables : Plan.t option =
+  let k = key config ~qid ~tables in
+  let sh = t.shards.(shard_index k) in
+  Mutex.protect sh.shard_lock (fun () -> Hashtbl.find_opt sh.plans k)
+
 (** Optimized plan for a select query under [config] (memoized). *)
 let plan_select t config ~qid (sq : Query.select_query) : Plan.t =
-  let k = key config ~qid ~tables:sq.body.tables in
+  let fp = Config.fingerprint_for_tables config sq.body.tables in
+  let k = qid ^ "#" ^ fp in
   let i = shard_index k in
   let sh = t.shards.(i) in
-  match Mutex.protect sh.shard_lock (fun () -> Hashtbl.find_opt sh.plans k) with
+  Mutex.lock sh.shard_lock;
+  (* wait out any in-flight optimization of the same key rather than
+     duplicating its optimizer call (request-level dedup) *)
+  let rec await () =
+    match Hashtbl.find_opt sh.plans k with
+    | Some p -> Some p
+    | None ->
+      if Hashtbl.mem sh.inflight k then begin
+        Condition.wait sh.resolved sh.shard_lock;
+        await ()
+      end
+      else None
+  in
+  match await () with
   | Some p ->
-    Atomic.incr t.cache_hits;
-    Atomic.incr sh.hits;
-    Relax_obs.Probe.cache_hit ~qid;
-    Relax_obs.Probe.counter_series "whatif.cache_hits"
-      ~series:(series_of_shard i)
-      (float_of_int (Atomic.get sh.hits));
+    Mutex.unlock sh.shard_lock;
+    count_hit t sh i ~qid;
     p
   | None ->
-    Atomic.incr t.optimizer_calls;
-    Atomic.incr sh.misses;
-    Relax_obs.Probe.what_if_call ~qid;
-    Relax_obs.Probe.counter "whatif.calls"
-      (float_of_int (Atomic.get t.optimizer_calls));
-    Relax_obs.Probe.counter_series "whatif.cache_misses"
-      ~series:(series_of_shard i)
-      (float_of_int (Atomic.get sh.misses));
-    let p =
-      Relax_obs.Probe.span "whatif.optimize" (fun () ->
-          Optimizer.optimize t.catalog config sq)
+    Hashtbl.add sh.inflight k ();
+    Mutex.unlock sh.shard_lock;
+    let finalize () =
+      Mutex.protect sh.shard_lock (fun () ->
+          Hashtbl.remove sh.inflight k;
+          Condition.broadcast sh.resolved)
     in
-    Mutex.protect sh.shard_lock (fun () -> Hashtbl.replace sh.plans k p);
+    let p =
+      match
+        Atomic.incr t.optimizer_calls;
+        Atomic.incr sh.misses;
+        Relax_obs.Probe.what_if_call ~qid;
+        Relax_obs.Probe.counter "whatif.calls"
+          (float_of_int (Atomic.get t.optimizer_calls));
+        Relax_obs.Probe.counter_series "whatif.cache_misses"
+          ~series:(series_of_shard i)
+          (float_of_int (Atomic.get sh.misses));
+        Relax_obs.Probe.span "whatif.optimize" (fun () ->
+            Optimizer.optimize t.catalog config sq)
+      with
+      | p ->
+        Mutex.protect sh.shard_lock (fun () -> Hashtbl.replace sh.plans k p);
+        finalize ();
+        p
+      | exception e ->
+        finalize ();
+        raise e
+    in
+    record_bounds t ~qid ~fp p.cost;
     p
 
 (** Cost of one workload entry under [config]: plan cost for selects;

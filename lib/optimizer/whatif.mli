@@ -9,7 +9,10 @@
 
     Domain-safe: the plan cache is sharded by key hash with per-shard
     mutexes and the counters are atomic, so {!plan_select} may be called
-    concurrently from the parallel search's worker domains. *)
+    concurrently from the parallel search's worker domains.  Concurrent
+    requests for the same key are deduplicated: the first pays the
+    optimizer call, later ones wait on the shard's condition variable and
+    count a cache hit. *)
 
 type t
 
@@ -29,6 +32,24 @@ val cached_plans : t -> int
 val plan_select :
   t -> Relax_physical.Config.t -> qid:string -> Relax_sql.Query.select_query ->
   Plan.t
+
+val find_cached :
+  t -> Relax_physical.Config.t -> qid:string -> tables:string list ->
+  Plan.t option
+(** The memoized plan for [qid] under [config], when present.  Never
+    optimizes and updates no counter: the peek used by the frugal
+    evaluation tier, which substitutes a bound-costed plan on a miss
+    instead of paying an optimizer call. *)
+
+val cost_interval :
+  t -> Relax_physical.Config.t -> qid:string -> tables:string list ->
+  float * float
+(** Advisory (lower, upper) bounds on [qid]'s optimized plan cost under
+    [config], derived from costs already paid for structure-set-comparable
+    configurations (identical clustered-index entries required: clustering
+    changes the stored base data): a recorded superset's cost bounds from
+    below, a subset's from above.  [(0., infinity)] when nothing comparable
+    was optimized yet.  Makes no optimizer call. *)
 
 val entry_cost : t -> Relax_physical.Config.t -> Relax_sql.Query.entry -> float
 (** Plan cost for selects; select-component cost plus update-shell

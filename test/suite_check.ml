@@ -133,6 +133,7 @@ let tpch_bound_context cat config config' tr : T.Cost_bound.context =
         (O.Optimizer.optimize cat Config.empty
            { Query.body = View.definition v; order_by = [] })
           .cost);
+    expands = T.Transform.adds_structures tr;
   }
 
 (* the central §3.3.2 claim on a real workload: for any relaxation of the

@@ -203,6 +203,7 @@ let test_removed_view_bound_sorts_accessed_rows () =
       removed_views = [ view ];
       view_merge = None;
       cbv = (fun _ -> 1000.0);
+      expands = false;
     }
   in
   let vname = View.name view in

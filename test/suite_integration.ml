@@ -170,6 +170,7 @@ let prop_cost_bound_dominates =
                          order_by = [];
                        })
                       .cost);
+                expands = T.Transform.adds_structures tr;
               }
             in
             if not (T.Cost_bound.plan_affected ctx plan) then true

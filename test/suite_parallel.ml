@@ -152,7 +152,7 @@ let skyline_naive (raw : T.Search.candidate list) =
 let mk_candidate =
   let tr = T.Transform.Remove_index (Index.on "r" [ "a" ]) in
   fun delta_cost delta_space ->
-    { T.Search.tr; penalty = 0.0; delta_cost; delta_space }
+    { T.Search.tr; penalty = 0.0; delta_cost; delta_cost_lo = delta_cost; delta_space }
 
 let check_skyline msg cands =
   let project (c : T.Search.candidate) = (c.delta_cost, c.delta_space) in

@@ -373,7 +373,7 @@ let test_perfdiff_clean () =
   | Error msg -> Alcotest.failf "unexpected malformed: %s" msg
 
 let test_perfdiff_counter_regression () =
-  (* the acceptance scenario: a 2x what-if-call regression must gate *)
+  (* the acceptance scenario: a 2x what-if-call regression must hard-gate *)
   match diff (bench_json ~what_if:582.0 ()) with
   | Ok c ->
     Alcotest.(check bool) "flagged" true (c.regressions <> []);
@@ -381,8 +381,67 @@ let test_perfdiff_counter_regression () =
       (List.exists
          (fun l -> Astring_contains.contains l "what_if_calls")
          c.regressions);
-    Alcotest.(check int) "exit 1" 1 (Obs.Perfdiff.exit_code (Ok c))
+    Alcotest.(check bool) "hard" true (c.hard_regressions <> []);
+    Alcotest.(check int) "exit 3" 3 (Obs.Perfdiff.exit_code (Ok c))
   | Error msg -> Alcotest.failf "unexpected malformed: %s" msg
+
+let frugal_json ?(what_if = 120.0) ?(accepts = 900.0) ?(rejects = 400.0)
+    ?(spent = 64.0) label =
+  J.Obj
+    [
+      ( "runs",
+        J.List
+          [
+            J.Obj
+              [
+                ("label", J.String label);
+                ("elapsed_s", J.Float 3.0);
+                ("configurations_evaluated", J.Float 80.0);
+                ("throughput_configs_per_s", J.Float (80.0 /. 3.0));
+                ("what_if_calls", J.Float what_if);
+                ("cache_hits", J.Float 50.0);
+                ("bound_accepts", J.Float accepts);
+                ("bound_rejects", J.Float rejects);
+                ("budget_spent", J.Float spent);
+              ];
+          ] );
+    ]
+
+let test_perfdiff_labels_and_optional () =
+  (* label-keyed runs (BENCH_frugal.json) match by label, and the
+     frugality counters are compared when both sides carry them *)
+  (match
+     Obs.Perfdiff.compare_json ~baseline:(frugal_json "frugal")
+       ~current:(frugal_json "frugal") ()
+   with
+  | Ok c ->
+    Alcotest.(check int) "8 metrics compared" 8 (List.length c.lines);
+    Alcotest.(check int) "exit 0" 0 (Obs.Perfdiff.exit_code (Ok c))
+  | Error msg -> Alcotest.failf "unexpected malformed: %s" msg);
+  (* soft regression on a frugality counter exits 1, not 3 *)
+  (match
+     Obs.Perfdiff.compare_json ~baseline:(frugal_json "frugal")
+       ~current:(frugal_json ~spent:128.0 "frugal") ()
+   with
+  | Ok c ->
+    Alcotest.(check bool) "budget_spent flagged" true
+      (List.exists
+         (fun l -> Astring_contains.contains l "budget_spent")
+         c.regressions);
+    Alcotest.(check int) "exit 1" 1 (Obs.Perfdiff.exit_code (Ok c))
+  | Error msg -> Alcotest.failf "unexpected malformed: %s" msg);
+  (* a jobs-keyed baseline without frugality counters skips them *)
+  (match diff (bench_json ()) with
+  | Ok c -> Alcotest.(check int) "optional skipped" 5 (List.length c.lines)
+  | Error msg -> Alcotest.failf "unexpected malformed: %s" msg);
+  (* mismatched labels are malformed input *)
+  match
+    Obs.Perfdiff.compare_json ~baseline:(frugal_json "frugal")
+      ~current:(frugal_json "exact") ()
+  with
+  | Error _ as r ->
+    Alcotest.(check int) "label mismatch exits 2" 2 (Obs.Perfdiff.exit_code r)
+  | Ok _ -> Alcotest.fail "label mismatch accepted"
 
 let test_perfdiff_bidirectional () =
   (* cache hits falling is as bad as calls rising *)
@@ -481,6 +540,8 @@ let suite =
     Alcotest.test_case "perfdiff: clean baseline" `Quick test_perfdiff_clean;
     Alcotest.test_case "perfdiff: 2x what-if calls gates" `Quick
       test_perfdiff_counter_regression;
+    Alcotest.test_case "perfdiff: labels and optional counters" `Quick
+      test_perfdiff_labels_and_optional;
     Alcotest.test_case "perfdiff: direction handling" `Quick
       test_perfdiff_bidirectional;
     Alcotest.test_case "perfdiff: wall-clock tolerance" `Quick

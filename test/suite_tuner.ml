@@ -183,6 +183,7 @@ let bound_vs_true ~workload_s ~config ~tr =
       removed_views = T.Transform.removed_views tr;
       view_merge = None;
       cbv = (fun _ -> 0.0);
+      expands = T.Transform.adds_structures tr;
     }
   in
   let bound = T.Cost_bound.query_bound ctx plan in

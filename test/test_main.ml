@@ -14,6 +14,7 @@ let () =
       ("costing", Suite_costing.suite);
       ("engine", Suite_engine.suite);
       ("check", Suite_check.suite);
+      ("frugal", Suite_frugal.suite);
       ("lint", Suite_lint.suite);
       ("integration", Suite_integration.suite);
     ]
