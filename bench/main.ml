@@ -17,6 +17,7 @@ module O = Relax_optimizer
 module T = Relax_tuner
 module B = Relax_baseline
 module W = Relax_workloads
+module D = Relax_daemon
 
 
 
@@ -893,6 +894,202 @@ let frugal_sweep () =
   with Sys_error msg -> Printf.eprintf "cannot write BENCH_frugal.json: %s\n" msg
 
 (* ------------------------------------------------------------------ *)
+(* Continuous tuning: stream replay                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon replaying the 104-statement generated workload (the
+   frugal_sweep recipe) as a statement stream: warm incremental re-tunes
+   must spend measurably fewer what-if calls than cold from-scratch
+   re-tunes over the same stream, the converged configuration's window
+   cost must be epsilon-equal to a from-scratch tune of the final
+   window, and an injected cost-drift fault must trigger exactly one
+   auto-rollback that restores the previous deployment byte-identically.
+   The results land in BENCH_stream.json. *)
+let stream_bench () =
+  Printf.printf "\n-- continuous tuning: stream replay --\n";
+  let schema = W.Bench_db.tpch_schema ~scale:tpch_scale () in
+  let base = W.Generator.workload ~seed:900 schema ~n:13 in
+  let rng = Relax_catalog.Rng.create 901 in
+  let stream =
+    List.concat_map
+      (fun rep ->
+        List.map
+          (fun (e : Query.entry) ->
+            { e with qid = Printf.sprintf "%s-r%d" e.qid rep })
+          (if rep = 0 then base else W.Generator.reparameterize schema rng base))
+      (List.init 8 Fun.id)
+  in
+  let cat = schema.catalog in
+  let budget = db_bytes cat *. 1.3 in
+  let opts ~warm ~inject =
+    {
+      (D.Daemon.default_options ~space_budget:budget ()) with
+      mode = T.Tuner.Indexes_only;
+      retune_every = 26;
+      min_statements = 13;
+      (* no rotation: the convergence comparison below needs the final
+         window to be exactly the one the last re-tune saw (rotation
+         refreshes representatives right after the tune, which would
+         shift the goalposts); rotation is exercised by the daemon test
+         suite and the CI smoke run *)
+      rotate_every = 0;
+      max_iterations = 300;
+      jobs = effective_jobs ();
+      warm;
+      inject_drift = inject;
+    }
+  in
+  (* replay through the JSONL stream codec, exactly what relaxd reads *)
+  let replay daemon =
+    let trail = ref [] in
+    List.iter
+      (fun e ->
+        match D.Stream.parse_line (D.Stream.line_of_entry e) with
+        | Error msg -> failwith ("stream round-trip: " ^ msg)
+        | Ok e -> (
+          match D.Daemon.ingest daemon e with
+          | None -> ()
+          | Some r -> trail := (r, D.Daemon.deployed_json daemon) :: !trail))
+      stream;
+    (match D.Daemon.finalize daemon with
+    | None -> ()
+    | Some r -> trail := (r, D.Daemon.deployed_json daemon) :: !trail);
+    List.rev !trail
+  in
+  let run label ~warm ~inject =
+    let daemon = D.Daemon.create cat (opts ~warm ~inject) in
+    let t0 = now () in
+    let trail = replay daemon in
+    (label, daemon, trail, now () -. t0)
+  in
+  let report_rejects label trail =
+    List.iter
+      (fun ((r : D.Daemon.retune), _) ->
+        match r.action with
+        | D.Daemon.Rejected reasons ->
+          Printf.printf "  !! %s retune %d rejected: %s\n" label r.ordinal
+            (String.concat "; " reasons)
+        | _ -> ())
+      trail
+  in
+  let _, warm_d, warm_trail, warm_t = run "warm" ~warm:true ~inject:None in
+  report_rejects "warm" warm_trail;
+  let _, _, cold_trail, cold_t = run "cold" ~warm:false ~inject:None in
+  let calls trail =
+    List.map (fun ((r : D.Daemon.retune), _) -> r.what_if_calls) trail
+  in
+  let warm_calls = calls warm_trail and cold_calls = calls cold_trail in
+  let sum = List.fold_left ( + ) 0 in
+  let call_ratio =
+    float_of_int (sum cold_calls) /. float_of_int (max 1 (sum warm_calls))
+  in
+  Printf.printf "retunes: %d   warm calls per retune: [%s]   cold: [%s]\n"
+    (List.length warm_trail)
+    (String.concat ";" (List.map string_of_int warm_calls))
+    (String.concat ";" (List.map string_of_int cold_calls));
+  Printf.printf "warm spends %.1fx fewer what-if calls (%.2fs vs %.2fs)\n"
+    call_ratio warm_t cold_t;
+  (* convergence: the deployment's final-window cost vs a from-scratch
+     tune of the same window *)
+  let final_window = D.Daemon.window_workload warm_d in
+  let scratch =
+    T.Tuner.tune cat final_window
+      {
+        (T.Tuner.default_options ~mode:T.Tuner.Indexes_only
+           ~space_budget:budget ())
+        with
+        max_iterations = 300;
+        jobs = effective_jobs ();
+      }
+  in
+  let daemon_cost =
+    T.Tuner.workload_cost cat (D.Daemon.deployed warm_d) final_window
+  in
+  let cost_gap =
+    Float.abs (daemon_cost -. scratch.recommended_cost)
+    /. Float.max 1e-9 scratch.recommended_cost
+  in
+  let eps_equal = cost_gap <= 0.01 in
+  Printf.printf
+    "final window: daemon cost %.1f vs from-scratch %.1f, gap %.4f%% \
+     (epsilon-equal: %b)\n"
+    daemon_cost scratch.recommended_cost (100.0 *. cost_gap) eps_equal;
+  (* fault injection: drift at retune 3 must fire exactly one rollback
+     restoring the pre-deploy JSON byte-for-byte *)
+  let fault_d = D.Daemon.create cat (opts ~warm:true ~inject:(Some (3, 25.0))) in
+  let initial_json = D.Daemon.deployed_json fault_d in
+  let fault_trail = replay fault_d in
+  let restored_identical =
+    let pre_deploy = ref initial_json and prev = ref initial_json in
+    let ok = ref false in
+    List.iter
+      (fun ((r : D.Daemon.retune), json_after) ->
+        (match r.action with
+        | D.Daemon.Deployed _ -> pre_deploy := !prev
+        | D.Daemon.Rolled_back _ -> ok := String.equal json_after !pre_deploy
+        | D.Daemon.Steady | D.Daemon.Rejected _ -> ());
+        prev := json_after)
+      fault_trail;
+    !ok
+  in
+  let rollback_count = D.Daemon.rollbacks fault_d in
+  Printf.printf
+    "injected drift at retune 3: %d rollback(s), restored byte-identical: %b\n"
+    rollback_count restored_identical;
+  let json =
+    let open Relax_obs.Json in
+    let cycles trail =
+      List
+        (List.map
+           (fun ((r : D.Daemon.retune), _) ->
+             Obj
+               [
+                 ("ordinal", Int r.ordinal);
+                 ( "action",
+                   String
+                     (match r.action with
+                     | D.Daemon.Steady -> "steady"
+                     | D.Daemon.Deployed _ -> "deploy"
+                     | D.Daemon.Rejected _ -> "reject"
+                     | D.Daemon.Rolled_back _ -> "rollback") );
+                 ("what_if_calls", Int r.what_if_calls);
+                 ("cache_hits", Int r.cache_hits);
+                 ("elapsed_s", Float r.elapsed_s);
+               ])
+           trail)
+    in
+    Obj
+      [
+        ("bench", String "daemon_stream_replay");
+        ( "workload",
+          String
+            (Printf.sprintf "generated tpch-like stream, %d statements"
+               (List.length stream)) );
+        ("budget_bytes", Float budget);
+        ("warm_calls", Int (sum warm_calls));
+        ("cold_calls", Int (sum cold_calls));
+        ("call_reduction", Float call_ratio);
+        ("warm_elapsed_s", Float warm_t);
+        ("cold_elapsed_s", Float cold_t);
+        ("daemon_final_window_cost", Float daemon_cost);
+        ("scratch_final_window_cost", Float scratch.recommended_cost);
+        ("final_window_cost_gap", Float cost_gap);
+        ("epsilon_equal_cost", Bool eps_equal);
+        ("injected_rollbacks", Int rollback_count);
+        ("rollback_restored_identical", Bool restored_identical);
+        ("warm_cycles", cycles warm_trail);
+        ("cold_cycles", cycles cold_trail);
+        ("fault_cycles", cycles fault_trail);
+      ]
+  in
+  try
+    Out_channel.with_open_bin "BENCH_stream.json" (fun oc ->
+        Out_channel.output_string oc (Relax_obs.Json.to_string json);
+        Out_channel.output_char oc '\n');
+    Printf.printf "stream replay written to BENCH_stream.json\n"
+  with Sys_error msg -> Printf.eprintf "cannot write BENCH_stream.json: %s\n" msg
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -982,6 +1179,7 @@ let experiments =
     ("fig10", fig10);
     ("compress", compress_bench);
     ("frugal", frugal_sweep);
+    ("stream", stream_bench);
     ("validate", validate);
     ("ablation", ablation);
     ("micro", micro);
@@ -1048,6 +1246,10 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
+  (* SIGINT/SIGTERM unwind through every [Fun.protect] below, so partial
+     bench output and trace sinks are flushed instead of dropped *)
+  Relax_obs.Shutdown.install ();
+  Relax_obs.Shutdown.protect @@ fun () ->
   (* peel off --json PATH / --json=PATH, --jobs N / --jobs=N and
      --log-level LEVEL *)
   let json_path = ref None in

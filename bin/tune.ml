@@ -65,6 +65,10 @@ let run db scale schema_file queries file generate seed updates tool mode
     frontier_csv_file check check_jsonl =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else log_level);
+  (* a SIGINT/SIGTERM mid-run unwinds through the [Fun.protect] around
+     the tuner, closing the trace sink before the process exits 128+N *)
+  Relax_obs.Shutdown.install ();
+  Relax_obs.Shutdown.protect @@ fun () ->
   let catalog, workload =
     load_workload ~db ~scale ~schema_file ~queries ~file ~generate ~seed
       ~updates

@@ -176,7 +176,7 @@ let tune (catalog : Catalog.t) (workload : Query.workload) (opts : options) :
         | Select q -> Some (e.qid, e.weight, q)
         | Dml d -> (
           match Query.split_update d with
-          | Some q, _ -> Some (e.qid ^ ":select", e.weight, q)
+          | Some q, _ -> Some (Query.select_qid e.qid, e.weight, q)
           | None, _ -> None))
       workload
   in

@@ -168,7 +168,7 @@ let instrumentable (w : Query.workload) : (string * Query.select_query) list =
       | Select q -> Some (e.qid, q)
       | Dml d -> (
         match Query.split_update d with
-        | Some q, _ -> Some (e.qid ^ ":select", q)
+        | Some q, _ -> Some (Query.select_qid e.qid, q)
         | None, _ -> None))
     w
 

@@ -89,6 +89,18 @@ type options = {
           evaluation substitutes bound-costed plans for uncached
           re-optimizations.  [None] (the default): the frugal tier is
           entirely off and the search behaves exactly as before. *)
+  warm_start : Config.t option;
+      (** a previously deployed configuration to seed into the pool as a
+          second parentless node: it is evaluated up front (cache-warm
+          when [whatif] is reused across re-tunes), becomes the incumbent
+          best if it fits the budget, and so arms shortcut pruning and the
+          frugal contender gate from iteration zero.  The continuous
+          tuner's incremental re-tune entry. *)
+  whatif : O.Whatif.t option;
+      (** an existing what-if interface to run against instead of a fresh
+          one, sharing its plan cache and advisory bounds across runs.
+          [outcome.optimizer_calls]/[cache_hits] still report this run's
+          deltas. *)
   on_iteration : (iteration_report -> unit) option;
       (** invoked once per iteration, after evaluation and trace emission,
           from the main domain (never from workers).  Used by the
@@ -108,6 +120,8 @@ let default_options ~space_budget =
     selection = Penalty;
     jobs = Pool.default_jobs ();
     whatif_budget = None;
+    warm_start = None;
+    whatif = None;
     on_iteration = None;
   }
 
@@ -158,7 +172,7 @@ let prepare (w : Query.workload) : prepared =
         | Select q -> Some (e.qid, e.weight, q)
         | Dml d -> (
           match Query.split_update d with
-          | Some q, _ -> Some (e.qid ^ ":select", e.weight, q)
+          | Some q, _ -> Some (Query.select_qid e.qid, e.weight, q)
           | None, _ -> None))
       w
   in
@@ -1165,7 +1179,11 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
   | Some r -> Obs.Recorder.with_ambient r
   | None -> fun f -> f ())
   @@ fun () ->
-  let whatif = O.Whatif.create catalog in
+  let whatif =
+    match opts.whatif with Some w -> w | None -> O.Whatif.create catalog
+  in
+  (* a reused interface arrives with history; report this run's deltas *)
+  let calls0, hits0 = O.Whatif.stats whatif in
   let prepared = prepare workload in
   let pool = Pool.create ~jobs:opts.jobs in
   Fun.protect
@@ -1226,10 +1244,10 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       (Pool.map pool
          (fun (qid, _, q) -> O.Whatif.plan_select whatif opts.protected ~qid q)
          prepared.selects));
-  (* evaluate the initial configuration from scratch, in batches on the
-     worker domains, folding costs sequentially in workload order *)
-  let shell = shell_cost_of st initial in
-  let plans, select_cost =
+  (* evaluate a configuration from scratch, in batches on the worker
+     domains, folding costs sequentially in workload order (used for the
+     root and for the warm-start seed) *)
+  let eval_scratch config =
     let acc = ref String_map.empty in
     let total = ref 0.0 in
     let rec go = function
@@ -1239,7 +1257,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
         let scored =
           Pool.map pool
             (fun (qid, w, q) ->
-              (qid, w, O.Whatif.plan_select whatif initial ~qid q))
+              (qid, w, O.Whatif.plan_select whatif config ~qid q))
             batch
         in
         List.iter
@@ -1252,6 +1270,8 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
     go prepared.selects;
     (!acc, !total)
   in
+  let shell = shell_cost_of st initial in
+  let plans, select_cost = eval_scratch initial in
   let root =
     {
       id = 0;
@@ -1279,6 +1299,51 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
     st.best <- Some root;
     best_trace := [ (0, root.cost) ]
   end;
+  (* Warm start: seed the previously deployed configuration as a second
+     parentless pool node.  On an incremental re-tune its plans are
+     already in the (shared) cache, so the evaluation is nearly free, and
+     installing it as the incumbent best means shortcut evaluation and the
+     frugal contender gate prune against a realistic cost from iteration
+     zero — the mechanism behind warm re-tunes spending fewer optimizer
+     calls than cold ones. *)
+  (match opts.warm_start with
+  | None -> ()
+  | Some cfg when Hashtbl.mem st.seen (Config.fingerprint cfg) -> ()
+  | Some cfg ->
+    ignore (O.Env.make catalog cfg);
+    let shell = shell_cost_of st cfg in
+    let plans, select_cost = eval_scratch cfg in
+    let warm =
+      {
+        id = st.next_id;
+        config = cfg;
+        plans;
+        select_cost;
+        shell_cost = shell;
+        cost = select_cost +. shell;
+        size = config_size st cfg;
+        parent = None;
+        via = None;
+        actual_penalty = 0.0;
+        pseudo = String_map.empty;
+        untried = [];
+        candidates_ready = false;
+        pruned = false;
+      }
+    in
+    st.next_id <- st.next_id + 1;
+    st.nodes <- warm :: st.nodes;
+    Hashtbl.replace st.by_id warm.id warm;
+    Hashtbl.replace st.seen (Config.fingerprint cfg) ();
+    if warm.size <= opts.space_budget then begin
+      let better =
+        match st.best with None -> true | Some b -> warm.cost < b.cost
+      in
+      if better then begin
+        st.best <- Some warm;
+        best_trace := (0, warm.cost) :: !best_trace
+      end
+    end);
   let time_ok () =
     match opts.time_budget_s with
     | None -> true
@@ -1466,6 +1531,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
         if changed then best_trace := (st.iterations, n.cost) :: !best_trace
     end);
   let calls, hits = O.Whatif.stats whatif in
+  let calls = calls - calls0 and hits = hits - hits0 in
   {
     initial = root;
     best = st.best;

@@ -70,6 +70,18 @@ type options = {
           the frugal tier is entirely off and the search behaves exactly
           as without it.  The frugal sweep runs sequentially on the main
           domain, so results stay deterministic at any [jobs]. *)
+  warm_start : Config.t option;
+      (** a previously deployed configuration seeded into the pool as a
+          second parentless node: evaluated up front (cache-warm when
+          [whatif] is reused), installed as the incumbent best if it fits,
+          arming shortcut pruning and the frugal contender gate from
+          iteration zero.  The continuous tuner's incremental re-tune
+          entry.  [None] (default): off. *)
+  whatif : O.Whatif.t option;
+      (** an existing what-if interface to run against instead of a fresh
+          one, sharing its plan cache and advisory bound store across
+          runs; [outcome.optimizer_calls]/[cache_hits] still report this
+          run's deltas.  [None] (default): a private interface. *)
   on_iteration : (iteration_report -> unit) option;
       (** invoked once per iteration, after evaluation and trace emission,
           from the main domain (never from workers).  Used by the
@@ -136,7 +148,8 @@ type outcome = {
           found: the tuner's anytime behaviour *)
   iterations : int;
   candidates_per_iteration : int list;  (** Figure 6 series *)
-  optimizer_calls : int;
+  optimizer_calls : int;  (** this run's calls (deltas under a shared
+                              what-if interface) *)
   cache_hits : int;
   whatif : O.Whatif.t;
       (** the search's what-if interface, cache warm with every plan the

@@ -38,6 +38,15 @@ type options = {
           budget the recommended cost is re-derived from exact per-query
           what-if costs after the search, so the reported numbers are
           honest even when the search ran on bound-costed plans. *)
+  initial_config : Config.t option;
+      (** warm start: a previously deployed configuration seeded into the
+          search pool as an incumbent (see {!Search.options.warm_start}).
+          The continuous tuner's incremental re-tune entry; [None] =
+          tune from scratch. *)
+  whatif : O.Whatif.t option;
+      (** an existing what-if interface to tune through, keeping its plan
+          cache and advisory bounds warm across re-tunes; [None] = a
+          fresh one per call. *)
   on_iteration : (Search.iteration_report -> unit) option;
       (** per-iteration hook threaded to {!Search.run}; used by the
           differential invariant checker ([Relax_check]) *)
@@ -55,6 +64,8 @@ let default_options ?(mode = Indexes_and_views) ~space_budget () =
     selection = Search.Penalty;
     jobs = Relax_parallel.Pool.default_jobs ();
     whatif_budget = None;
+    initial_config = None;
+    whatif = None;
     on_iteration = None;
   }
 
@@ -120,6 +131,8 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
       selection = options.selection;
       jobs = options.jobs;
       whatif_budget = options.whatif_budget;
+      warm_start = options.initial_config;
+      whatif = options.whatif;
       on_iteration = options.on_iteration;
     }
   in
@@ -160,7 +173,7 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
           | Query.Dml d ->
             let select_cost =
               match
-                Search.String_map.find_opt (e.qid ^ ":select") n.Search.plans
+                Search.String_map.find_opt (Query.select_qid e.qid) n.Search.plans
               with
               | Some (p : O.Plan.t) -> p.cost
               | None -> 0.0
@@ -190,7 +203,7 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
               | Query.Select _ ->
                 Search.String_map.mem e.qid n.Search.pseudo
               | Query.Dml _ ->
-                Search.String_map.mem (e.qid ^ ":select") n.Search.pseudo
+                Search.String_map.mem (Query.select_qid e.qid) n.Search.pseudo
             in
             if is_pseudo then
               (qid, e.weight *. O.Whatif.entry_cost outcome.whatif recommended e)

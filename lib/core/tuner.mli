@@ -27,6 +27,15 @@ type options = {
           [None] = unlimited (frugal tier off).  With a finite budget
           [result.recommended_cost] is re-derived from exact per-query
           what-if costs after the search. *)
+  initial_config : Config.t option;
+      (** warm start: a previously deployed configuration seeded into the
+          search pool as an incumbent (see {!Search.options.warm_start}).
+          The continuous tuner's incremental re-tune entry; [None] = tune
+          from scratch. *)
+  whatif : Relax_optimizer.Whatif.t option;
+      (** an existing what-if interface to tune through, keeping its plan
+          cache and advisory bounds warm across re-tunes; [None] = a
+          fresh one per call. *)
   on_iteration : (Search.iteration_report -> unit) option;
       (** per-iteration hook threaded to {!Search.run}; used by the
           differential invariant checker ([Relax_check]) *)

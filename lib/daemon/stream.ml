@@ -1,0 +1,59 @@
+(** JSONL statement stream (see the mli). *)
+
+module Query = Relax_sql.Query
+module Json = Relax_obs.Json
+
+type event =
+  | Entry of Query.entry
+  | Malformed of { line : string; reason : string }
+
+let parse_line ?(default_weight = 1.0) line =
+  match Json.of_string line with
+  | Error msg -> Error ("bad JSON: " ^ msg)
+  | Ok j -> (
+    match Json.member "sql" j with
+    | Some (Json.String sql) -> (
+      let qid =
+        match Json.member "qid" j with
+        | Some (Json.String q) -> q
+        | _ -> ""
+      in
+      let weight =
+        match Json.member "weight" j with
+        | Some v -> Option.value (Json.to_float v) ~default:default_weight
+        | None -> default_weight
+      in
+      match Relax_sql.Parser.statement sql with
+      | stmt -> Ok { Query.qid; weight; stmt }
+      | exception Relax_sql.Parser.Parse_error msg ->
+        Error ("SQL parse error: " ^ msg)
+      | exception Relax_sql.Lexer.Lex_error (msg, pos) ->
+        Error (Printf.sprintf "SQL lex error at %d: %s" pos msg))
+    | Some _ -> Error {|"sql" must be a string|}
+    | None -> Error {|missing "sql" field|})
+
+let line_of_entry (e : Query.entry) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("qid", Json.String e.qid);
+         ("sql", Json.String (Relax_sql.Pretty.statement_to_string e.stmt));
+         ("weight", Json.Float e.weight);
+       ])
+
+let events ic =
+  let rec next () =
+    match input_line ic with
+    | exception End_of_file -> Seq.Nil
+    | line ->
+      let line = String.trim line in
+      if line = "" then next ()
+      else
+        let ev =
+          match parse_line line with
+          | Ok e -> Entry e
+          | Error reason -> Malformed { line; reason }
+        in
+        Seq.Cons (ev, next)
+  in
+  next

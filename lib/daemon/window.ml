@@ -1,0 +1,150 @@
+(** The sliding workload window (see the mli for the model).
+
+    Weights are stored as-of the template's last arrival and decayed
+    lazily: [weight_of] applies [decay^(clock - last)], so a tick is
+    O(1) and reading a weight is O(1) — no per-tick sweep over the
+    table.  Determinism: templates are emitted in creation ([seq])
+    order, and every eviction rule breaks ties on [seq], so the same
+    arrival sequence always produces the same workload and the same
+    eviction queue whatever the hash table's internal order. *)
+
+module Query = Relax_sql.Query
+module W = Relax_workloads
+
+type template = {
+  tqid : string;  (** stable daemon-assigned qid *)
+  seq : int;  (** creation order *)
+  mutable rep : Query.statement;  (** pinned representative *)
+  mutable latest : Query.statement;  (** most recent arrival *)
+  mutable weight : float;  (** decayed weight as of [last] *)
+  mutable last : int;  (** clock at last arrival *)
+  mutable arrivals : int;
+}
+
+type t = {
+  decay : float;
+  capacity : int;
+  min_weight : float;
+  by_sig : (string, template) Hashtbl.t;
+  mutable clock : int;
+  mutable next_seq : int;
+  mutable arrivals_total : int;
+  mutable pending : string list;  (** qids awaiting what-if eviction *)
+}
+
+type rotation = { dropped : string list; refreshed : string list }
+
+let create ?(decay = 0.98) ?(capacity = 64) ?(min_weight = 0.05) () =
+  if not (decay > 0.0 && decay <= 1.0) then
+    invalid_arg "Window.create: decay must be in (0, 1]";
+  if capacity < 1 then invalid_arg "Window.create: capacity must be positive";
+  {
+    decay;
+    capacity;
+    min_weight;
+    by_sig = Hashtbl.create 64;
+    clock = 0;
+    next_seq = 0;
+    arrivals_total = 0;
+    pending = [];
+  }
+
+let weight_of t tpl =
+  tpl.weight *. (t.decay ** float_of_int (t.clock - tpl.last))
+
+(* creation order: the deterministic iteration the workload and the
+   eviction rules are defined over *)
+let templates t =
+  Hashtbl.fold (fun s tpl acc -> (s, tpl) :: acc) t.by_sig []
+  |> List.sort (fun (_, a) (_, b) -> compare a.seq b.seq)
+
+(* at capacity: evict the lightest template, ties broken towards the
+   least recently seen, then the oldest *)
+let evict_lightest t =
+  match templates t with
+  | [] -> ()
+  | first :: rest ->
+    let lighter (_, a) (_, b) =
+      let wa = weight_of t a and wb = weight_of t b in
+      if wa < wb then true
+      else if wb < wa then false
+      else if a.last <> b.last then a.last < b.last
+      else a.seq < b.seq
+    in
+    let s, victim =
+      List.fold_left (fun acc c -> if lighter c acc then c else acc) first rest
+    in
+    Hashtbl.remove t.by_sig s;
+    t.pending <- victim.tqid :: t.pending
+
+let add t (e : Query.entry) =
+  t.clock <- t.clock + 1;
+  t.arrivals_total <- t.arrivals_total + 1;
+  let s = W.Compress.signature e.stmt in
+  match Hashtbl.find_opt t.by_sig s with
+  | Some tpl ->
+    tpl.weight <- (tpl.weight *. (t.decay ** float_of_int (t.clock - tpl.last)))
+                  +. e.weight;
+    tpl.last <- t.clock;
+    tpl.arrivals <- tpl.arrivals + 1;
+    tpl.latest <- e.stmt
+  | None ->
+    if Hashtbl.length t.by_sig >= t.capacity then evict_lightest t;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.add t.by_sig s
+      {
+        tqid = Printf.sprintf "w%03d" seq;
+        seq;
+        rep = e.stmt;
+        latest = e.stmt;
+        weight = e.weight;
+        last = t.clock;
+        arrivals = 1;
+      }
+
+let tick t = t.clock <- t.clock + 1
+let size t = Hashtbl.length t.by_sig
+let statements_seen t = t.arrivals_total
+
+let workload t =
+  List.map
+    (fun (_, tpl) ->
+      { Query.qid = tpl.tqid; weight = weight_of t tpl; stmt = tpl.rep })
+    (templates t)
+
+let total_weight t =
+  Hashtbl.fold (fun _ tpl acc -> acc +. weight_of t tpl) t.by_sig 0.0
+
+let weights t =
+  List.map (fun (_, tpl) -> (tpl.tqid, weight_of t tpl)) (templates t)
+
+let rotate t =
+  let dropped = ref [] and refreshed = ref [] in
+  List.iter
+    (fun (s, tpl) ->
+      if weight_of t tpl < t.min_weight then begin
+        Hashtbl.remove t.by_sig s;
+        dropped := tpl.tqid :: !dropped
+      end
+      else if
+        not
+          (String.equal
+             (Relax_sql.Pretty.statement_to_string tpl.rep)
+             (Relax_sql.Pretty.statement_to_string tpl.latest))
+      then begin
+        (* same template shape, newer constants: refresh the pinned
+           representative so selectivities track the live stream — the
+           qid's cached plans are stale from this point on *)
+        tpl.rep <- tpl.latest;
+        refreshed := tpl.tqid :: !refreshed
+      end)
+    (templates t);
+  let r = { dropped = List.rev !dropped; refreshed = List.rev !refreshed } in
+  t.pending <- r.dropped @ r.refreshed @ t.pending;
+  r
+
+let drain_evictions t =
+  let qids = List.sort_uniq compare (List.rev t.pending) in
+  t.pending <- [];
+  qids

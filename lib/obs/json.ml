@@ -29,11 +29,26 @@ let escape buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Shortest decimal that parses back to the exact same float: config
+   serialization round-trips through this printer, and a lossy "%.12g"
+   would perturb view-definition constants (hence view names and config
+   fingerprints) across a daemon save/load cycle. *)
 let float_str f =
   if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  else
+    let exact fmt =
+      let s = Printf.sprintf fmt f in
+      if Float.equal (float_of_string s) f then Some s else None
+    in
+    match exact "%.12g" with
+    | Some s -> s
+    | None -> (
+      match exact "%.15g" with
+      | Some s -> s
+      | None -> (
+        match exact "%.16g" with Some s -> s | None -> Printf.sprintf "%.17g" f))
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"

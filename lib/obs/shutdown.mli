@@ -1,0 +1,25 @@
+(** Graceful shutdown on SIGINT/SIGTERM.
+
+    The installed handler raises {!Signalled} from the signal's safe
+    point, so the stack unwinds through every [Fun.protect] on the way out
+    — closing trace sinks and flushing channels exactly as on a normal
+    return.  One-shot CLIs wrap their main in {!protect}; long-running
+    services catch {!Signalled} at their loop head and run their
+    final-delta path instead. *)
+
+exception Signalled of int
+(** The signal number that interrupted the run. *)
+
+val install : unit -> unit
+(** Install SIGINT/SIGTERM handlers that raise {!Signalled} (once; a
+    second signal during cleanup exits immediately with 128+N).
+    Process-global; call from the main domain. *)
+
+val exit_code : int -> int
+(** The conventional exit code for a signal: 130 for SIGINT, 143 for
+    SIGTERM. *)
+
+val protect : (unit -> 'a) -> 'a
+(** [protect f] runs [f ()]; a {!Signalled} escape becomes
+    [exit (128+N)] after the unwind has closed every protected resource
+    inside [f]. *)

@@ -13,10 +13,13 @@ let file path =
   {
     emit_line =
       (fun line ->
-        if not !closed then begin
-          output_string oc line;
-          output_char oc '\n'
-        end);
+        if not !closed then
+          (* one write call per line: OCaml signal handlers only run at
+             safe points (allocations), and a single [output_string] of a
+             pre-built string performs none — so a signal raised from a
+             handler (see {!Shutdown}) can never land between a line and
+             its newline and leave a torn JSONL record in the buffer *)
+          output_string oc (line ^ "\n"));
     close_sink =
       (fun () ->
         if not !closed then begin

@@ -115,12 +115,101 @@ let comparable_le a b =
   subset_sorted a b
   && List.filter is_clustered_entry a = List.filter is_clustered_entry b
 
+(* The store is bounded: a long-running service re-tunes thousands of
+   times against the same Whatif, and an append-only history is both a
+   leak and a per-lookup slowdown (every {!cost_interval} folds the whole
+   list).  Each qid keeps at most [max_bounds_per_qid] records, newest
+   first.  Identical structure sets are deduplicated (they can only recur
+   after an eviction re-optimizes a key, and then the new cost supersedes
+   the old).  On overflow we drop a *dominated* record when one exists — A
+   is dominated when some superset B with cost >= A's covers every lower
+   bound A could serve AND some subset B' with cost <= A's covers every
+   upper bound — and the oldest record otherwise.  Bounds are advisory
+   (the frugal tier only uses them to skip optimizer calls), so any
+   eviction policy is safe; this one just keeps the tightest survivors. *)
+let max_bounds_per_qid = 32
+
+let dominated l (a_entries, a_cost) =
+  let covers_lower (b_entries, b_cost) =
+    b_cost >= a_cost
+    && a_entries != b_entries
+    && comparable_le a_entries b_entries
+  and covers_upper (b_entries, b_cost) =
+    b_cost <= a_cost
+    && a_entries != b_entries
+    && comparable_le b_entries a_entries
+  in
+  List.exists covers_lower l && List.exists covers_upper l
+
 let record_bounds t ~qid ~fp (cost : float) =
   let entries = fingerprint_entries fp in
   Mutex.protect t.bounds_lock (fun () ->
       match Hashtbl.find_opt t.bounds qid with
-      | Some l -> l := (entries, cost) :: !l
-      | None -> Hashtbl.add t.bounds qid (ref [ (entries, cost) ]))
+      | None -> Hashtbl.add t.bounds qid (ref [ (entries, cost) ])
+      | Some l ->
+        let deduped = List.filter (fun (e, _) -> e <> entries) !l in
+        let trimmed =
+          if List.length deduped < max_bounds_per_qid then deduped
+          else begin
+            (* at capacity: drop a dominated record, else the oldest *)
+            match List.filter (fun r -> not (dominated deduped r)) deduped with
+            | survivors when List.length survivors < List.length deduped ->
+              (* removing every dominated record at once is fine — each
+                 had a surviving dominator on both sides *)
+              survivors
+            | _ -> (
+              match List.rev deduped with
+              | [] -> []
+              | _ :: rev_rest -> List.rev rev_rest)
+          end
+        in
+        l := (entries, cost) :: trimmed)
+
+(** Total advisory-bound records currently held, across all qids: the
+    observable the bounded-growth regression test (and the daemon's
+    window-size gauge) watches. *)
+let bounds_size t =
+  Mutex.protect t.bounds_lock (fun () ->
+      Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.bounds 0)
+
+(** Drop every advisory bound.  Plans stay cached. *)
+let reset_bounds t =
+  Mutex.protect t.bounds_lock (fun () -> Hashtbl.reset t.bounds)
+
+(* the workload qid behind a cache key or bounds qid: strip the
+   select-component suffix, then anything from the '#' fingerprint
+   separator on *)
+let owner_qid k =
+  let k = match String.index_opt k '#' with
+    | Some i -> String.sub k 0 i
+    | None -> k
+  in
+  Query.base_qid k
+
+(** Evict every cached plan and advisory bound whose owning workload qid
+    fails [keep].  The daemon calls this on window rotation: statements
+    that left the sliding window stop pinning plans and bounds, which is
+    what keeps a long-running service's footprint proportional to the
+    window, not the history.  DML select components ([qid ^ ":select"])
+    are evicted with their owner. *)
+let evict t ~keep =
+  Array.iter
+    (fun sh ->
+      Mutex.protect sh.shard_lock (fun () ->
+          let doomed =
+            Hashtbl.fold
+              (fun k _ acc -> if keep (owner_qid k) then acc else k :: acc)
+              sh.plans []
+          in
+          List.iter (Hashtbl.remove sh.plans) doomed))
+    t.shards;
+  Mutex.protect t.bounds_lock (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun qid _ acc -> if keep (owner_qid qid) then acc else qid :: acc)
+          t.bounds []
+      in
+      List.iter (Hashtbl.remove t.bounds) doomed)
 
 (** Advisory (lower, upper) bounds on the optimized plan cost of [qid]
     under [config], from costs already paid for comparable configurations:
@@ -229,7 +318,7 @@ let entry_cost t config (e : Query.entry) : float =
     let select_cost =
       match select_part with
       | None -> 0.0
-      | Some sq -> (plan_select t config ~qid:(e.qid ^ ":select") sq).cost
+      | Some sq -> (plan_select t config ~qid:(Query.select_qid e.qid) sq).cost
     in
     let env = Env.make t.catalog config in
     select_cost +. Update_cost.shell_cost env config d

@@ -51,6 +51,22 @@ val cost_interval :
     below, a subset's from above.  [(0., infinity)] when nothing comparable
     was optimized yet.  Makes no optimizer call. *)
 
+val bounds_size : t -> int
+(** Total advisory-bound records currently held, across all qids.  The
+    store is bounded (a few dozen records per qid, dominated records
+    evicted first), so this stays proportional to the number of distinct
+    statements costed — not to the number of optimizer calls made — however
+    long the instance lives. *)
+
+val reset_bounds : t -> unit
+(** Drop every advisory bound.  Cached plans are kept. *)
+
+val evict : t -> keep:(string -> bool) -> unit
+(** Evict every cached plan and advisory bound whose owning workload qid
+    fails [keep] (DML select components are evicted with their owner).
+    Called by the continuous-tuning daemon on window rotation so departed
+    statements stop pinning cache entries. *)
+
 val entry_cost : t -> Relax_physical.Config.t -> Relax_sql.Query.entry -> float
 (** Plan cost for selects; select-component cost plus update-shell
     maintenance for DML (§3.6). *)

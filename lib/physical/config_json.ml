@@ -1,0 +1,277 @@
+(** Durable JSON serialization of physical configurations.
+
+    The continuous-tuning daemon persists its deployed configuration
+    across restarts and keeps the previous deployment around for
+    auto-rollback, so the encoding must round-trip *exactly*:
+    [of_string (to_string c)] rebuilds a configuration with the same
+    fingerprint, and [to_string] is deterministic (sorted structures,
+    shortest-exact floats) so a rolled-back configuration is restored
+    byte-identically from its saved form.
+
+    Exactness comes from reconstructing through the same canonicalizing
+    constructors that built the original: indexes re-enter via
+    {!Index.make} and views via {!View.make} over a {!Query.make_spjg}
+    definition, so derived names (hence fingerprints) are re-derived, not
+    stored — a stored name could silently disagree with the content. *)
+
+open Relax_sql.Types
+module Query = Relax_sql.Query
+module Expr = Relax_sql.Expr
+module Predicate = Relax_sql.Predicate
+module J = Relax_obs.Json
+
+exception Parse of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let column_to (c : column) = J.List [ J.String c.tbl; J.String c.col ]
+
+let value_to : value -> J.t = function
+  | VInt i -> J.Obj [ ("int", J.Int i) ]
+  | VFloat f -> J.Obj [ ("float", J.Float f) ]
+  | VString s -> J.Obj [ ("str", J.String s) ]
+  | VDate d -> J.Obj [ ("date", J.Int d) ]
+
+let arith_op_to = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmp_op_to = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec expr_to : Expr.t -> J.t = function
+  | Col c -> J.Obj [ ("col", column_to c) ]
+  | Const v -> J.Obj [ ("const", value_to v) ]
+  | Neg e -> J.Obj [ ("neg", expr_to e) ]
+  | Bin (op, a, b) ->
+    J.Obj [ ("bin", J.List [ J.String (arith_op_to op); expr_to a; expr_to b ]) ]
+  | Cmp (op, a, b) ->
+    J.Obj [ ("cmp", J.List [ J.String (cmp_op_to op); expr_to a; expr_to b ]) ]
+  | And (a, b) -> J.Obj [ ("and", J.List [ expr_to a; expr_to b ]) ]
+  | Or (a, b) -> J.Obj [ ("or", J.List [ expr_to a; expr_to b ]) ]
+  | Not e -> J.Obj [ ("not", expr_to e) ]
+  | Like (e, pat) -> J.Obj [ ("like", J.List [ expr_to e; J.String pat ]) ]
+  | In_list (e, vs) ->
+    J.Obj [ ("in", J.List [ expr_to e; J.List (List.map value_to vs) ]) ]
+
+let agg_fn_to : Query.agg_fn -> string = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+let select_item_to : Query.select_item -> J.t = function
+  | Item_col c -> J.Obj [ ("col", column_to c) ]
+  | Item_agg (fn, arg) ->
+    J.Obj
+      [
+        ( "agg",
+          J.List
+            [
+              J.String (agg_fn_to fn);
+              (match arg with None -> J.Null | Some c -> column_to c);
+            ] );
+      ]
+
+let bound_to (b : Predicate.bound) =
+  J.Obj [ ("value", value_to b.value); ("inclusive", J.Bool b.inclusive) ]
+
+let bound_opt_to = function None -> J.Null | Some b -> bound_to b
+
+let range_to (r : Predicate.range) =
+  J.Obj
+    [
+      ("col", column_to r.rcol);
+      ("lo", bound_opt_to r.lo);
+      ("hi", bound_opt_to r.hi);
+    ]
+
+let join_to (j : Predicate.join) =
+  J.Obj [ ("left", column_to j.left); ("right", column_to j.right) ]
+
+let spjg_to (q : Query.spjg) =
+  J.Obj
+    [
+      ("select", J.List (List.map select_item_to q.select));
+      ("tables", J.List (List.map (fun t -> J.String t) q.tables));
+      ("joins", J.List (List.map join_to q.joins));
+      ("ranges", J.List (List.map range_to q.ranges));
+      ("others", J.List (List.map expr_to q.others));
+      ("group_by", J.List (List.map column_to q.group_by));
+    ]
+
+let index_to (i : Index.t) =
+  J.Obj
+    [
+      ("keys", J.List (List.map column_to i.keys));
+      ("suffix", J.List (List.map column_to (Column_set.elements i.suffix)));
+      ("clustered", J.Bool i.clustered);
+    ]
+
+let view_to ((v : View.t), rows) =
+  J.Obj [ ("definition", spjg_to (View.definition v)); ("rows", J.Float rows) ]
+
+let to_json (config : Config.t) =
+  J.Obj
+    [
+      ("version", J.Int 1);
+      ("indexes", J.List (List.map index_to (Config.indexes config)));
+      ("views", J.List (List.map view_to (Config.views_with_rows config)));
+    ]
+
+let to_string config = J.to_string (to_json config)
+
+(* ------------------------------------------------------------------ *)
+(* decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let member name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let as_list what = function J.List l -> l | _ -> fail "%s: expected a list" what
+
+let as_string what = function
+  | J.String s -> s
+  | _ -> fail "%s: expected a string" what
+
+let as_bool what = function J.Bool b -> b | _ -> fail "%s: expected a bool" what
+
+let as_float what j =
+  match J.to_float j with Some f -> f | None -> fail "%s: expected a number" what
+
+let as_int what j =
+  match J.to_int j with Some i -> i | None -> fail "%s: expected an int" what
+
+let column_of = function
+  | J.List [ J.String tbl; J.String col ] -> Column.make tbl col
+  | _ -> fail "column: expected [table, column]"
+
+let value_of = function
+  | J.Obj [ ("int", j) ] -> VInt (as_int "int value" j)
+  | J.Obj [ ("float", j) ] -> VFloat (as_float "float value" j)
+  | J.Obj [ ("str", j) ] -> VString (as_string "string value" j)
+  | J.Obj [ ("date", j) ] -> VDate (as_int "date value" j)
+  | _ -> fail "value: expected a tagged constant"
+
+let arith_op_of = function
+  | "+" -> Add
+  | "-" -> Sub
+  | "*" -> Mul
+  | "/" -> Div
+  | s -> fail "unknown arithmetic operator %S" s
+
+let cmp_op_of = function
+  | "=" -> Eq
+  | "<>" -> Neq
+  | "<" -> Lt
+  | "<=" -> Le
+  | ">" -> Gt
+  | ">=" -> Ge
+  | s -> fail "unknown comparison operator %S" s
+
+let rec expr_of : J.t -> Expr.t = function
+  | J.Obj [ ("col", c) ] -> Col (column_of c)
+  | J.Obj [ ("const", v) ] -> Const (value_of v)
+  | J.Obj [ ("neg", e) ] -> Neg (expr_of e)
+  | J.Obj [ ("bin", J.List [ op; a; b ]) ] ->
+    Bin (arith_op_of (as_string "bin op" op), expr_of a, expr_of b)
+  | J.Obj [ ("cmp", J.List [ op; a; b ]) ] ->
+    Cmp (cmp_op_of (as_string "cmp op" op), expr_of a, expr_of b)
+  | J.Obj [ ("and", J.List [ a; b ]) ] -> And (expr_of a, expr_of b)
+  | J.Obj [ ("or", J.List [ a; b ]) ] -> Or (expr_of a, expr_of b)
+  | J.Obj [ ("not", e) ] -> Not (expr_of e)
+  | J.Obj [ ("like", J.List [ e; pat ]) ] ->
+    Like (expr_of e, as_string "like pattern" pat)
+  | J.Obj [ ("in", J.List [ e; J.List vs ]) ] ->
+    In_list (expr_of e, List.map value_of vs)
+  | _ -> fail "expression: unknown shape"
+
+let agg_fn_of : string -> Query.agg_fn = function
+  | "count" -> Count
+  | "sum" -> Sum
+  | "min" -> Min
+  | "max" -> Max
+  | "avg" -> Avg
+  | s -> fail "unknown aggregate %S" s
+
+let select_item_of : J.t -> Query.select_item = function
+  | J.Obj [ ("col", c) ] -> Item_col (column_of c)
+  | J.Obj [ ("agg", J.List [ fn; arg ]) ] ->
+    Item_agg
+      ( agg_fn_of (as_string "aggregate" fn),
+        match arg with J.Null -> None | c -> Some (column_of c) )
+  | _ -> fail "select item: unknown shape"
+
+let bound_of j : Predicate.bound =
+  {
+    value = value_of (member "value" j);
+    inclusive = as_bool "inclusive" (member "inclusive" j);
+  }
+
+let bound_opt_of = function J.Null -> None | j -> Some (bound_of j)
+
+let range_of j : Predicate.range =
+  {
+    rcol = column_of (member "col" j);
+    lo = bound_opt_of (member "lo" j);
+    hi = bound_opt_of (member "hi" j);
+  }
+
+let join_of j : Predicate.join =
+  Predicate.make_join (column_of (member "left" j)) (column_of (member "right" j))
+
+let spjg_of j : Query.spjg =
+  Query.make_spjg
+    ~select:(List.map select_item_of (as_list "select" (member "select" j)))
+    ~tables:
+      (List.map (as_string "table") (as_list "tables" (member "tables" j)))
+    ~joins:(List.map join_of (as_list "joins" (member "joins" j)))
+    ~ranges:(List.map range_of (as_list "ranges" (member "ranges" j)))
+    ~others:(List.map expr_of (as_list "others" (member "others" j)))
+    ~group_by:(List.map column_of (as_list "group_by" (member "group_by" j)))
+    ()
+
+let index_of j : Index.t =
+  let keys = List.map column_of (as_list "keys" (member "keys" j)) in
+  let suffix =
+    Column_set.of_list (List.map column_of (as_list "suffix" (member "suffix" j)))
+  in
+  let clustered = as_bool "clustered" (member "clustered" j) in
+  match Index.make ~clustered ~keys ~suffix () with
+  | i -> i
+  | exception Invalid_argument msg -> fail "invalid index: %s" msg
+
+let view_of j =
+  let v = View.make (spjg_of (member "definition" j)) in
+  let rows = as_float "rows" (member "rows" j) in
+  (v, rows)
+
+let of_json j : (Config.t, string) result =
+  match
+    (match member "version" j with
+    | J.Int 1 -> ()
+    | J.Int v -> fail "unsupported config version %d" v
+    | _ -> fail "version: expected an int");
+    let indexes = List.map index_of (as_list "indexes" (member "indexes" j)) in
+    let views = List.map view_of (as_list "views" (member "views" j)) in
+    List.fold_left
+      (fun c (v, rows) -> Config.add_view c v ~rows)
+      (Config.of_indexes indexes) views
+  with
+  | config -> Ok config
+  | exception Parse msg -> Error msg
+
+let of_string s =
+  match J.of_string s with
+  | Error msg -> Error ("config JSON: " ^ msg)
+  | Ok j -> of_json j

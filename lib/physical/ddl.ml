@@ -58,6 +58,70 @@ let pp_config ppf (config : Config.t) =
 
 let to_string config = Fmt.str "%a" pp_config config
 
+(* --- incremental deployment deltas -------------------------------------- *)
+
+(** The DDL difference between a deployed configuration and a target one:
+    what a continuous tuner actually ships.  Creates are ordered views
+    before their indexes, drops indexes before their views, so the script
+    is executable top to bottom. *)
+type delta = {
+  create_views : View.t list;
+  create_indexes : Index.t list;
+  drop_indexes : Index.t list;
+  drop_views : View.t list;
+}
+
+let delta ~deployed ~target =
+  let names vs = List.map View.name vs in
+  let deployed_views = Config.views deployed
+  and target_views = Config.views target in
+  let deployed_names = names deployed_views
+  and target_names = names target_views in
+  {
+    create_views =
+      List.filter
+        (fun v -> not (List.mem (View.name v) deployed_names))
+        target_views;
+    create_indexes =
+      Index.Set.elements
+        (Index.Set.diff (Config.index_set target) (Config.index_set deployed));
+    drop_indexes =
+      Index.Set.elements
+        (Index.Set.diff (Config.index_set deployed) (Config.index_set target));
+    drop_views =
+      List.filter
+        (fun v -> not (List.mem (View.name v) target_names))
+        deployed_views;
+  }
+
+let delta_is_empty d =
+  d.create_views = [] && d.create_indexes = [] && d.drop_indexes = []
+  && d.drop_views = []
+
+let delta_cardinal d =
+  List.length d.create_views + List.length d.create_indexes
+  + List.length d.drop_indexes + List.length d.drop_views
+
+let pp_delta ppf d =
+  Atomic.set index_name_counter 0;
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun v -> Fmt.pf ppf "%a@," pp_view v) d.create_views;
+  List.iter (fun i -> Fmt.pf ppf "%a@," pp_index i) d.create_indexes;
+  List.iter
+    (fun (i : Index.t) ->
+      (* content-derived names here: the numbered DDL names are allocated
+         per rendered script, so a drop must identify the structure by
+         content, exactly as the configuration does *)
+      Fmt.pf ppf "DROP INDEX %s ON %s;@," (sanitize (Index.name i))
+        (Index.owner i))
+    d.drop_indexes;
+  List.iter
+    (fun v -> Fmt.pf ppf "DROP MATERIALIZED VIEW %s;@," (View.name v))
+    d.drop_views;
+  Fmt.pf ppf "@]"
+
+let delta_to_string d = Fmt.str "%a" pp_delta d
+
 (** The tear-down script (inverse order). *)
 let pp_drop ppf (config : Config.t) =
   Atomic.set index_name_counter 0;

@@ -12,3 +12,25 @@ val to_string : Config.t -> string
 
 val pp_drop : Format.formatter -> Config.t -> unit
 (** The tear-down script. *)
+
+(** The DDL difference between a deployed configuration and a target one:
+    what a continuous tuner actually ships on each re-tune. *)
+type delta = {
+  create_views : View.t list;
+  create_indexes : Index.t list;
+  drop_indexes : Index.t list;
+  drop_views : View.t list;
+}
+
+val delta : deployed:Config.t -> target:Config.t -> delta
+val delta_is_empty : delta -> bool
+
+val delta_cardinal : delta -> int
+(** Number of DDL statements the delta would execute. *)
+
+val pp_delta : Format.formatter -> delta -> unit
+(** Executable top to bottom: created views before their indexes, dropped
+    indexes before their views.  Drops identify indexes by their
+    content-derived names. *)
+
+val delta_to_string : delta -> string

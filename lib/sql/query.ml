@@ -154,6 +154,20 @@ let column_equiv (joins : Predicate.join list) : column -> column -> bool =
   List.iter (fun (j : Predicate.join) -> union j.left j.right) joins;
   fun a b -> Column.equal a b || Column.equal (find a) (find b)
 
+(** The qid under which a DML entry's select component is planned and
+    cached.  Every costing layer (what-if cache keys, advisory bounds,
+    frugal-tier lookups, per-node plan maps) must derive the component qid
+    through this one helper so the caches and bound stores agree. *)
+let select_qid qid = qid ^ ":select"
+
+(** Inverse of {!select_qid}: the workload entry's qid behind a planning
+    qid, whether or not it carries the select-component suffix. *)
+let base_qid qid =
+  match String.rindex_opt qid ':' with
+  | Some i when String.sub qid i (String.length qid - i) = ":select" ->
+    String.sub qid 0 i
+  | _ -> qid
+
 (* --- The running example of §3.6 ----------------------------------------- *)
 
 (** Split an update statement into its pure select component and an update

@@ -83,6 +83,16 @@ val column_equiv : Predicate.join list -> column -> column -> bool
     over the join graph): the relation behind every "modulo column
     equivalence" test in view matching. *)
 
+val select_qid : string -> string
+(** The qid under which a DML entry's select component is planned and
+    cached.  All costing layers (what-if cache keys, advisory bounds,
+    frugal-tier lookups, per-node plan maps) derive the component qid
+    through this one helper so caches and bound stores agree. *)
+
+val base_qid : string -> string
+(** Inverse of {!select_qid}: the workload entry behind a planning qid,
+    whether or not it carries the select-component suffix. *)
+
 val split_update : dml -> select_query option * dml
 (** Split an update statement into its pure select component and an update
     shell (§3.6): [UPDATE R SET a=b+1 WHERE a<10] reads as

@@ -17,4 +17,5 @@ let () =
       ("frugal", Suite_frugal.suite);
       ("lint", Suite_lint.suite);
       ("integration", Suite_integration.suite);
+      ("daemon", Suite_daemon.suite);
     ]
