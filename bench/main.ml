@@ -48,6 +48,20 @@ let effective_jobs () =
   | Some j -> j
   | None -> Relax_parallel.Pool.default_jobs ()
 
+(* Host self-description stamped into every BENCH_*.json: wall-clock
+   numbers are only comparable between hosts of the same shape, and
+   perfdiff uses this block to decide which gates stay hard (see
+   [Relax_obs.Perfdiff]). *)
+let host_json () =
+  let open Relax_obs.Json in
+  Obj
+    [
+      ("recommended_domain_count", Int (Domain.recommended_domain_count ()));
+      ("ocaml_version", String Sys.ocaml_version);
+      ("os_type", String Sys.os_type);
+      ("word_size", Int Sys.word_size);
+    ]
+
 (* --validate: attach the differential invariant checker to every PTT run;
    any violation anywhere makes the whole harness exit non-zero *)
 let validate_flag = ref false
@@ -621,42 +635,63 @@ let ablation () =
 (* Parallel search: jobs sweep                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Node-expansion throughput of the relaxation search at jobs=1 vs the
-   requested parallelism, on the same TPC-H tuning problem.  The tuning
-   output must be identical across the sweep (the determinism guarantee);
-   the results land in BENCH_parallel.json. *)
+(* Node-expansion throughput of the relaxation search at jobs = 1/2/4/8,
+   on the big substrate (SF-1 statistics, 104 generated statements).  The
+   tuning output must be identical across the sweep (the determinism
+   guarantee); the results — wall clock, per-run GC pressure, per-domain
+   busy time and the host shape that makes the numbers interpretable —
+   land in BENCH_parallel.json. *)
 let parallel_sweep () =
-  Printf.printf "\n-- parallel search: jobs sweep (TPC-H) --\n";
-  let cat = Lazy.force tpch_cat in
-  let w = W.Tpch.workload_subset [ 1; 3; 5; 6; 10; 12; 14; 15 ] in
-  let budget = db_bytes cat *. 1.4 in
-  let tune_with jobs =
+  Printf.printf "\n-- parallel search: jobs sweep (substrate SF-1, 104 stmts) --\n";
+  let cat = W.Substrate.catalog ~sf:1.0 () in
+  let w = W.Substrate.pool ~sf:1.0 () in
+  let budget = db_bytes cat *. 1.3 in
+  let tune_with ?(iters = 60) jobs =
     let opts =
       {
         (T.Tuner.default_options ~mode:T.Tuner.Indexes_only
            ~space_budget:budget ())
         with
-        max_iterations = 150;
+        max_iterations = iters;
         jobs;
       }
     in
     let obs = Relax_obs.Recorder.create () in
+    let g0 = Gc.quick_stat () in
     let t0 = now () in
     let r = T.Tuner.tune ~obs cat w opts in
     let elapsed = now () -. t0 in
-    (r, elapsed, Relax_obs.Recorder.snapshot obs)
+    let g1 = Gc.quick_stat () in
+    let gc =
+      let open Relax_obs.Json in
+      Obj
+        [
+          ("minor_words", Float (g1.minor_words -. g0.minor_words));
+          ("major_words", Float (g1.major_words -. g0.major_words));
+          ("promoted_words", Float (g1.promoted_words -. g0.promoted_words));
+          ( "minor_collections",
+            Int (g1.minor_collections - g0.minor_collections) );
+          ( "major_collections",
+            Int (g1.major_collections - g0.major_collections) );
+        ]
+    in
+    (r, elapsed, Relax_obs.Recorder.snapshot obs, gc)
   in
-  (* warmup: fill the catalog's derived-view memos so both timed runs see
-     the same cache state *)
-  ignore (tune_with 1);
+  (* warmup: fill the catalog memos and fault in the code paths so the
+     timed runs all start from the same state *)
+  ignore (tune_with ~iters:8 1);
   let requested = max 1 (effective_jobs ()) in
-  let sweep = if requested = 1 then [ 1 ] else [ 1; requested ] in
+  let sweep =
+    List.sort_uniq Int.compare (1 :: 2 :: 4 :: 8 :: [ requested ])
+  in
   let runs = List.map (fun j -> (j, tune_with j)) sweep in
-  let r1, e1, m1 = List.assoc 1 runs in
+  let r1, e1, m1, _ = List.assoc 1 runs in
   let fp (r : T.Tuner.result) = Config.fingerprint r.recommended in
   let identical =
     List.for_all
-      (fun (_, ((r, _, m) : T.Tuner.result * float * Relax_obs.Metrics.snapshot)) ->
+      (fun ( _,
+             ((r, _, m, _) :
+               T.Tuner.result * float * Relax_obs.Metrics.snapshot * _) ) ->
         fp r = fp r1
         && r.recommended_cost = r1.recommended_cost
         && r.frontier = r1.frontier
@@ -672,7 +707,7 @@ let parallel_sweep () =
   Printf.printf "%-6s %10s %14s %16s %10s\n" "jobs" "time" "configs eval"
     "configs/s" "speedup";
   List.iter
-    (fun (j, (_, e, (m : Relax_obs.Metrics.snapshot))) ->
+    (fun (j, (_, e, (m : Relax_obs.Metrics.snapshot), _)) ->
       Printf.printf "%-6d %9.2fs %14d %16.1f %9.2fx\n" j e
         m.configurations_evaluated
         (float_of_int m.configurations_evaluated /. Float.max 1e-9 e)
@@ -700,18 +735,22 @@ let parallel_sweep () =
     Obj
       [
         ("bench", String "parallel_jobs_sweep");
-        ("workload", String "tpch q1,3,5,6,10,12,14,15");
+        ("workload", String "substrate sf=1 pool 26x4 (104 stmts)");
         ("budget_bytes", Float budget);
         ("identical_results", Bool identical);
         (* environment self-description: a 1-core container showing no
            speedup is expected, and the numbers below say so *)
-        ( "recommended_domain_count",
-          Int (Domain.recommended_domain_count ()) );
+        ("host", host_json ());
         ("effective_jobs", Int requested);
         ( "runs",
           List
             (List.map
-               (fun (j, ((r, e, m) : T.Tuner.result * float * Relax_obs.Metrics.snapshot)) ->
+               (fun ( j,
+                      ((r, e, m, gc) :
+                        T.Tuner.result
+                        * float
+                        * Relax_obs.Metrics.snapshot
+                        * Relax_obs.Json.t) ) ->
                  Obj
                    [
                      ("jobs", Int j);
@@ -726,6 +765,7 @@ let parallel_sweep () =
                      ("recommended_fingerprint", String (fp r));
                      ("what_if_calls", Int m.what_if_calls);
                      ("cache_hits", Int m.cache_hits);
+                     ("gc", gc);
                      ( "busy_ms",
                        List (List.map (fun v -> Int v) (domain_busy_ms m)) );
                      ( "latency",
@@ -874,6 +914,7 @@ let frugal_sweep () =
     Obj
       [
         ("bench", String "frugal_whatif_budget");
+        ("host", host_json ());
         ( "workload",
           String
             (Printf.sprintf "generated tpch-like, %d statements"
@@ -1061,6 +1102,7 @@ let stream_bench () =
     Obj
       [
         ("bench", String "daemon_stream_replay");
+        ("host", host_json ());
         ( "workload",
           String
             (Printf.sprintf "generated tpch-like stream, %d statements"

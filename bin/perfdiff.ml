@@ -1,8 +1,9 @@
 (** [perfdiff] — compare two bench JSON outputs against relative
-    thresholds.
+    thresholds, or assert multi-core scaling on one.
 
     {v
     perfdiff [--counter-tolerance F] [--time-tolerance F] BASELINE CURRENT
+    perfdiff --scaling [--time-tolerance F] BENCH_parallel.json
     v}
 
     Both files use the bench JSON schema written by [bench/main.exe micro]
@@ -13,18 +14,30 @@
     [--counter-tolerance] (default 0.10 = 10 %), wall-clock metrics
     (elapsed, throughput) against [--time-tolerance] (default 0.50 =
     50 %).  [what_if_calls] is a hard gate; everything else is soft.
+    When the two files carry different [host] blocks (core count,
+    compiler version), wall-clock gates are skipped with a [::warning]
+    annotation — timing across host shapes is noise — while counter
+    gates stay hard.
 
-    Exit codes: 0 = all metrics within thresholds, 1 = soft regression(s)
-    only, 2 = malformed or missing input (unreadable file, parse error,
-    no runs, mismatched run sets), 3 = hard regression(s)
-    ([what_if_calls] breached).  CI soft-fails on 1 and hard-fails on 2
-    and 3. *)
+    [--scaling] switches to the single-file multi-core gate: the
+    [jobs=2] run must not be slower than [jobs=1] (within the time
+    tolerance, default 0.10 in this mode) and the sweep's
+    [identical_results] verdict must be true.  On a host reporting fewer
+    than 2 cores the wall-clock half is waived with a [::warning].
 
-let usage = "perfdiff [--counter-tolerance F] [--time-tolerance F] BASELINE CURRENT"
+    Exit codes: 0 = within thresholds (or waived), 1 = soft
+    regression(s) only, 2 = malformed or missing input, 3 = hard
+    regression(s) (what_if_calls breached; scaling or determinism failed
+    under [--scaling]).  CI soft-fails on 1 and hard-fails on 2 and 3. *)
+
+let usage =
+  "perfdiff [--counter-tolerance F] [--time-tolerance F] BASELINE CURRENT\n\
+   perfdiff --scaling [--time-tolerance F] BENCH_parallel.json"
 
 let () =
   let counter_tol = ref 0.10 in
-  let time_tol = ref 0.50 in
+  let time_tol = ref None in
+  let scaling = ref false in
   let files = ref [] in
   let spec =
     [
@@ -32,24 +45,50 @@ let () =
         Arg.Set_float counter_tol,
         "F relative tolerance for work counters (default 0.10)" );
       ( "--time-tolerance",
-        Arg.Set_float time_tol,
-        "F relative tolerance for wall-clock metrics (default 0.50)" );
+        Arg.Float (fun f -> time_tol := Some f),
+        "F relative tolerance for wall-clock metrics (default 0.50; 0.10 \
+         under --scaling)" );
+      ( "--scaling",
+        Arg.Set scaling,
+        " single-file mode: assert jobs=2 is no slower than jobs=1 and \
+         the sweep stayed deterministic" );
     ]
   in
   Arg.parse spec (fun f -> files := f :: !files) usage;
-  match List.rev !files with
-  | [ baseline; current ] ->
+  match (!scaling, List.rev !files) with
+  | true, [ current ] ->
     let result =
-      Relax_obs.Perfdiff.compare_files ~counter_tol:!counter_tol
-        ~time_tol:!time_tol ~baseline ~current ()
+      Relax_obs.Perfdiff.check_scaling_file
+        ?time_tol:!time_tol current
     in
     (match result with
     | Error msg -> Printf.eprintf "perfdiff: malformed input: %s\n" msg
-    | Ok { lines; regressions; hard_regressions } ->
+    | Ok { s_lines; s_failures; s_skipped } ->
+      List.iter print_endline s_lines;
+      (match s_skipped with
+      | Some reason -> Printf.printf "::warning::%s\n" reason
+      | None -> ());
+      Printf.printf "%d scaling assertion(s), %d failure(s)\n"
+        (List.length s_lines) (List.length s_failures));
+    exit (Relax_obs.Perfdiff.scaling_exit_code result)
+  | false, [ baseline; current ] ->
+    let result =
+      Relax_obs.Perfdiff.compare_files ~counter_tol:!counter_tol
+        ~time_tol:(Option.value ~default:0.50 !time_tol)
+        ~baseline ~current ()
+    in
+    (match result with
+    | Error msg -> Printf.eprintf "perfdiff: malformed input: %s\n" msg
+    | Ok { lines; regressions; hard_regressions; skipped } ->
       List.iter print_endline lines;
-      Printf.printf "%d metric(s) compared, %d regression(s), %d hard\n"
+      (match skipped with
+      | summary :: _ -> Printf.printf "::warning::%s\n" summary
+      | [] -> ());
+      Printf.printf
+        "%d metric(s) compared, %d regression(s), %d hard, %d skipped\n"
         (List.length lines) (List.length regressions)
-        (List.length hard_regressions));
+        (List.length hard_regressions)
+        (List.length skipped));
     exit (Relax_obs.Perfdiff.exit_code result)
   | _ ->
     prerr_endline usage;

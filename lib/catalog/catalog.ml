@@ -151,6 +151,31 @@ let remove_table t name =
   | None -> ());
   { t with tables = String_map.remove name t.tables }
 
+(** A stable digest of the base schema and its statistics inputs: table
+    names, row counts, column names/types/distributions and the
+    statistics seed.  Derived tables (simulated views) are excluded —
+    they are configuration state, not schema.  Two catalogs with equal
+    fingerprints synthesize identical statistics, so what-if costs
+    computed against one are valid against the other: the key the
+    persistent what-if cache is guarded by. *)
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "seed=%d;" t.seed);
+  String_map.iter
+    (fun name (td : table_def) ->
+      if not (Hashtbl.mem t.derived_memo name) then begin
+        Buffer.add_string buf (Printf.sprintf "%s=%d[" name td.rows);
+        List.iter
+          (fun (c : column_def) ->
+            Buffer.add_string buf
+              (Fmt.str "%s:%a:%a;" c.cname pp_data_type c.ctype
+                 Distribution.pp c.dist))
+          td.cols;
+        Buffer.add_string buf "]"
+      end)
+    t.tables;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp_table ppf (td : table_def) =
   Fmt.pf ppf "@[<v2>%s (%d rows):@," td.tname td.rows;
   List.iter

@@ -72,6 +72,16 @@ val known_derived : t -> string -> bool
 
 val remove_table : t -> string -> t
 
+(** {1 Identity} *)
+
+val fingerprint : t -> string
+(** A stable hex digest of the base schema and its statistics inputs
+    (table names, row counts, column definitions, statistics seed).
+    Derived tables — simulated views, i.e. configuration state — are
+    excluded.  Catalogs with equal fingerprints synthesize identical
+    statistics, so persisted what-if costs keyed by this fingerprint are
+    valid across processes. *)
+
 (** {1 Printing} *)
 
 val pp_table : Format.formatter -> table_def -> unit

@@ -26,7 +26,26 @@ module View = Relax_physical.View
 module O = Relax_optimizer
 module Obs = Relax_obs
 module Pool = Relax_parallel.Pool
-module String_map = Map.Make (String)
+
+(** A fixed-size bitset over workload slots — the flat replacement for the
+    [unit String_map.t] pseudo-marker sets.  One byte per eight selects
+    instead of a balanced tree of boxed strings: copying a node's marker
+    set is a [Bytes.copy], membership is two shifts and a load. *)
+module Bitset = struct
+  type t = Bytes.t
+
+  let create n = Bytes.make ((n + 7) lsr 3) '\000'
+  let mem t i = Char.code (Bytes.get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let add t i =
+    Bytes.set t (i lsr 3)
+      (Char.chr (Char.code (Bytes.get t (i lsr 3)) lor (1 lsl (i land 7))))
+
+  let is_empty t =
+    let n = Bytes.length t in
+    let rec go i = i >= n || (Char.code (Bytes.get t i) = 0 && go (i + 1)) in
+    go 0
+end
 
 let src = Logs.Src.create "relax.search" ~doc:"relaxation search"
 
@@ -136,11 +155,18 @@ type candidate = {
   delta_space : float;  (** ΔS: space saved *)
 }
 
-(** A configuration in the pool, with its evaluated plans and costs. *)
+(** A configuration in the pool, with its evaluated plans and costs.
+    Plans live in a slot-indexed array (one slot per workload select, see
+    {!prepared}), not a string map: the evaluation and ranking loops walk
+    every plan of every node each iteration, and the flat representation
+    turns those walks into cache-friendly array scans with no per-step
+    boxing — the point of the arena refactor. *)
 type node = {
   id : int;
   config : Config.t;
-  plans : O.Plan.t String_map.t;  (** per select-query plans *)
+  plans : O.Plan.t array;  (** per select-query plans, slot-indexed *)
+  slots : (string, int) Hashtbl.t;
+      (** shared qid → slot table (never mutated after [prepare]) *)
   select_cost : float;
   shell_cost : float;
   cost : float;
@@ -149,8 +175,8 @@ type node = {
   via : Transform.t option;
   actual_penalty : float;
       (** realized (cost increase)/(space saved) when created *)
-  pseudo : unit String_map.t;
-      (** frugal runs only: the select qids whose plan carries a
+  pseudo : Bitset.t;
+      (** frugal runs only: the select slots whose plan carries a
           bound-substituted (not re-optimized) cost; empty on exact runs *)
   mutable untried : candidate list;  (** sorted by increasing penalty *)
   mutable candidates_ready : bool;
@@ -160,6 +186,9 @@ type node = {
 type prepared = {
   selects : (string * float * Query.select_query) list;
       (** includes select components of updates *)
+  selects_arr : (string * float * Query.select_query) array;
+      (** [selects] as an array; the slot index of every per-node plan *)
+  slots : (string, int) Hashtbl.t;  (** qid → slot *)
   dmls : (float * Query.dml) list;
   has_updates : bool;
 }
@@ -182,7 +211,20 @@ let prepare (w : Query.workload) : prepared =
         match e.stmt with Dml d -> Some (e.weight, d) | Select _ -> None)
       w
   in
-  { selects; dmls; has_updates = dmls <> [] }
+  let selects_arr = Array.of_list selects in
+  let slots = Hashtbl.create (Array.length selects_arr) in
+  Array.iteri (fun i (qid, _, _) -> Hashtbl.replace slots qid i) selects_arr;
+  { selects; selects_arr; slots; dmls; has_updates = dmls <> [] }
+
+let plan_of (n : node) ~qid =
+  match Hashtbl.find_opt n.slots qid with
+  | Some s -> Some n.plans.(s)
+  | None -> None
+
+let is_pseudo (n : node) ~qid =
+  match Hashtbl.find_opt n.slots qid with
+  | Some s -> Bitset.mem n.pseudo s
+  | None -> false
 
 type state = {
   catalog : Relax_catalog.Catalog.t;
@@ -207,12 +249,12 @@ type state = {
   started : float;
 }
 
-(* structures referenced by any plan in the map: what "shrinking" keeps *)
-let used_structure_names (plans : O.Plan.t String_map.t) =
+(* structures referenced by any plan: what "shrinking" keeps *)
+let used_structure_names (plans : O.Plan.t array) =
   let used = Hashtbl.create 32 in
-  String_map.iter
-    (fun _ plan ->
-      List.iter
+  Array.iter
+    (fun plan ->
+      O.Plan.iter_accesses
         (fun (a : O.Plan.access_info) ->
           Hashtbl.replace used a.rel ();
           (match a.via_view with
@@ -222,7 +264,7 @@ let used_structure_names (plans : O.Plan.t String_map.t) =
             (fun (u : O.Plan.index_usage) ->
               Hashtbl.replace used (Index.name u.index) ())
             a.usages)
-        (O.Plan.accesses plan))
+        plan)
     plans;
   used
 
@@ -336,15 +378,6 @@ let bound_context ?old_env st ~old_config ~new_config (tr : Transform.t) :
    wasted past an abort to one batch. *)
 let eval_batch = 16
 
-let rec take_batch k l =
-  if k = 0 then ([], l)
-  else
-    match l with
-    | [] -> ([], [])
-    | x :: tl ->
-      let b, rest = take_batch (k - 1) tl in
-      (x :: b, rest)
-
 (** Evaluate a fresh configuration obtained by relaxing [parent] with [tr]:
     re-optimize only the plans the relaxation affected; optionally abort as
     soon as the running total exceeds the best known cost (§3.5).  Plans
@@ -394,16 +427,18 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
      [shrink_configurations] the gate sees the pre-shrink size, so a
      node only the shrink makes fit may be bound-costed — a conservative
      miss, never a wrong best.) *)
-  let decisions = Hashtbl.create 16 in
+  let nsel = Array.length st.prepared.selects_arr in
+  (* slot-indexed upfront classification; [None] = patch along *)
+  let decisions = Array.make nsel None in
   (match st.frugal with
   | None -> ()
   | Some ledger ->
     let lo_total = ref shell and hi_total = ref shell in
     let widths = ref [] in
-    List.iter
-      (fun (qid, w, q) ->
-        let old_plan = String_map.find qid parent.plans in
-        let parent_pseudo = String_map.mem qid parent.pseudo in
+    Array.iteri
+      (fun slot (qid, w, q) ->
+        let old_plan = parent.plans.(slot) in
+        let parent_pseudo = Bitset.mem parent.pseudo slot in
         let affected = Cost_bound.plan_affected ctx old_plan in
         let advisory_lo () =
           fst
@@ -429,7 +464,7 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
           with
           | Some p ->
             hi_total := !hi_total +. (w *. p.O.Plan.cost);
-            Hashtbl.replace decisions qid (`Cached p)
+            decisions.(slot) <- Some (`Cached p)
           | None -> (
             let patched =
               Cost_bound.patched_plan ~order_by:q.Query.order_by ctx old_plan
@@ -441,7 +476,7 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
                    && Cost_bound.float_leq p.O.Plan.cost old_plan.O.Plan.cost
               ->
               hi_total := !hi_total +. (w *. p.O.Plan.cost);
-              Hashtbl.replace decisions qid (`Point p)
+              decisions.(slot) <- Some (`Point p)
             | _ ->
               let hi =
                 match patched with
@@ -458,10 +493,10 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
                   | None -> old_plan.O.Plan.cost)
               in
               hi_total := !hi_total +. (w *. hi);
-              Hashtbl.replace decisions qid (`Bound patched);
-              widths := (qid, w *. (hi -. lo)) :: !widths)
+              decisions.(slot) <- Some (`Bound patched);
+              widths := (slot, w *. (hi -. lo)) :: !widths)
         end)
-      st.prepared.selects;
+      st.prepared.selects_arr;
     (* contender test: worst-case total within [contender_slack] of the
        incumbent best.  A node whose upper bound is far above the best
        cannot be mis-ranked into the recommendation by its bound cost —
@@ -482,10 +517,10 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
       let floor = Frugal.width_floor *. parent.cost in
       let k = ref (Frugal.remaining ledger) in
       List.iter
-        (fun (qid, width) ->
+        (fun (slot, width) ->
           if !k > 0 && Cost_bound.float_lt floor width then begin
             decr k;
-            Hashtbl.replace decisions qid `Paid
+            decisions.(slot) <- Some `Paid
           end)
         ranked
     end);
@@ -493,112 +528,114 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
   let exception Shortcut in
   try
     let total = ref shell in
-    let plans = ref String_map.empty in
-    let pseudo = ref String_map.empty in
-    let rec go selects =
-      match selects with
-      | [] -> ()
-      | _ ->
-        let batch, rest = take_batch eval_batch selects in
-        (* Consume the upfront classification — still sequentially on
-           the main domain; the ledger is debited per batch, so a
-           shortcut abort returns the calls later batches never made
-           back to the pool (dynamic reallocation). *)
-        let batch =
-          List.map
-            (fun ((qid, _, _) as item) ->
-              let old_plan = String_map.find qid parent.plans in
-              let decision =
-                match st.frugal with
-                | None ->
-                  if Cost_bound.plan_affected ctx old_plan then `Reoptimize
-                  else `Patch
-                | Some ledger -> (
-                  (* a pseudo plan is valid but suboptimal, so it is
-                     never silently patched along: every evaluation gives
-                     it a chance to improve — a warm cache entry, a
-                     budgeted re-optimization, or at least a re-patch
-                     against the current configuration *)
-                  match Hashtbl.find_opt decisions qid with
-                  | None -> `Patch
-                  | Some (`Cached p) -> `Cached p
-                  | Some (`Point p) -> `Point p
-                  | Some (`Paid) ->
-                    (* reserve exactly the one optimizer call the worker
-                       below will execute *)
-                    Frugal.debit ledger 1;
-                    `Reoptimize
-                  | Some (`Bound patched) -> `Bound patched)
+    let plans = Array.copy parent.plans in
+    let pseudo = Bitset.create nsel in
+    let base = ref 0 in
+    while !base < nsel do
+      let len = Int.min eval_batch (nsel - !base) in
+      (* Consume the upfront classification — still sequentially on
+         the main domain; the ledger is debited per batch, so a
+         shortcut abort returns the calls later batches never made
+         back to the pool (dynamic reallocation). *)
+      let work =
+        Array.init len (fun k ->
+            let slot = !base + k in
+            let qid, w, q = st.prepared.selects_arr.(slot) in
+            (slot, qid, w, q, parent.plans.(slot)))
+      in
+      for k = 0 to len - 1 do
+        let slot = !base + k in
+        (match st.frugal with
+        | None -> ()
+        | Some ledger -> (
+          (* a pseudo plan is valid but suboptimal, so it is never
+             silently patched along: every evaluation gives it a chance
+             to improve — a warm cache entry, a budgeted
+             re-optimization, or at least a re-patch against the
+             current configuration *)
+          match decisions.(slot) with
+          | Some `Paid ->
+            (* reserve exactly the one optimizer call the worker below
+               will execute *)
+            Frugal.debit ledger 1
+          | _ -> ()))
+      done;
+      let scored =
+        Pool.map_array st.pool
+          (fun (slot, qid, w, q, old_plan) ->
+            let decision =
+              match st.frugal with
+              | None ->
+                if Cost_bound.plan_affected ctx old_plan then `Reoptimize
+                else `Patch
+              | Some _ -> (
+                match decisions.(slot) with
+                | None -> `Patch
+                | Some (`Cached p) -> `Cached p
+                | Some (`Point p) -> `Point p
+                | Some `Paid -> `Reoptimize
+                | Some (`Bound patched) -> `Bound patched)
+            in
+            match decision with
+            | `Patch -> (slot, w, `Patched, old_plan)
+            | `Cached p -> (slot, w, `Reoptimized, p)
+            | `Point p -> (slot, w, `Point_exact, p)
+            | `Reoptimize ->
+              (slot, w, `Reoptimized,
+               O.Whatif.plan_select st.whatif config ~qid q)
+            | `Bound patched ->
+              (* No call: the upfront pass materialized the §3.3.2
+                 patched plan — a valid plan under [config] whose cost
+                 is the model's upper bound.  Keep the cheaper of it
+                 and the query's base-configuration plan (valid under
+                 any configuration).  Either way the stored plan is
+                 real, so affected-tests and bounds computed from it at
+                 later relaxations stay sound; it is merely
+                 suboptimal, which the [pseudo] marker records. *)
+              let base =
+                O.Whatif.find_cached st.whatif st.opts.protected ~qid
+                  ~tables:q.Query.body.tables
               in
-              (item, old_plan, decision))
-            batch
-        in
-        let scored =
-          Pool.map st.pool
-            (fun ((qid, w, q), old_plan, decision) ->
-              match decision with
-              | `Patch -> (qid, w, `Patched, old_plan)
-              | `Cached p -> (qid, w, `Reoptimized, p)
-              | `Point p -> (qid, w, `Point_exact, p)
-              | `Reoptimize ->
-                (qid, w, `Reoptimized,
-                 O.Whatif.plan_select st.whatif config ~qid q)
-              | `Bound patched ->
-                (* No call: the upfront pass materialized the §3.3.2
-                   patched plan — a valid plan under [config] whose cost
-                   is the model's upper bound.  Keep the cheaper of it
-                   and the query's base-configuration plan (valid under
-                   any configuration).  Either way the stored plan is
-                   real, so affected-tests and bounds computed from it at
-                   later relaxations stay sound; it is merely
-                   suboptimal, which the [pseudo] marker records. *)
-                let base =
-                  O.Whatif.find_cached st.whatif st.opts.protected ~qid
-                    ~tables:q.Query.body.tables
-                in
-                let plan =
-                  match (patched, base) with
-                  | Some p, Some (b : O.Plan.t) ->
-                    if b.cost < p.O.Plan.cost then b else p
-                  | Some p, None -> p
-                  | None, Some b -> b
-                  | None, None ->
-                    (* unreachable in practice: the base-configuration
-                       pass pre-optimized every select.  Degrade to the
-                       surviving plan — sound only as long as nothing
-                       relies on its accesses, hence last resort. *)
-                    old_plan
-                in
-                (qid, w, `Bound_costed, plan))
-            batch
-        in
-        List.iter
-          (fun (qid, w, how, (plan : O.Plan.t)) ->
-            (match how with
-            | `Reoptimized -> Obs.Probe.plan_reoptimized ()
-            | `Patched ->
-              Obs.Probe.plan_patched ();
-              (* a surviving plan inherits its pseudo status *)
-              if String_map.mem qid parent.pseudo then
-                pseudo := String_map.add qid () !pseudo
-            | `Point_exact ->
-              (* an exact cost obtained without a call: the patched plan
-                 provably achieves the removal's lower bound *)
-              Obs.Probe.plan_patched ();
-              Obs.Probe.count "whatif.point_exact"
-            | `Bound_costed ->
-              Obs.Probe.plan_patched ();
-              Obs.Probe.count "whatif.bound_costed";
-              pseudo := String_map.add qid () !pseudo);
-            total := !total +. (w *. plan.cost);
-            if st.opts.shortcut_evaluation && !total > best_cost *. 3.0 then
-              raise Shortcut;
-            plans := String_map.add qid plan !plans)
-          scored;
-        go rest
-    in
-    go st.prepared.selects;
-    let plans = !plans in
+              let plan =
+                match (patched, base) with
+                | Some p, Some (b : O.Plan.t) ->
+                  if b.cost < p.O.Plan.cost then b else p
+                | Some p, None -> p
+                | None, Some b -> b
+                | None, None ->
+                  (* unreachable in practice: the base-configuration
+                     pass pre-optimized every select.  Degrade to the
+                     surviving plan — sound only as long as nothing
+                     relies on its accesses, hence last resort. *)
+                  old_plan
+              in
+              (slot, w, `Bound_costed, plan))
+          work
+      in
+      Array.iter
+        (fun (slot, w, how, (plan : O.Plan.t)) ->
+          (match how with
+          | `Reoptimized -> Obs.Probe.plan_reoptimized ()
+          | `Patched ->
+            Obs.Probe.plan_patched ();
+            (* a surviving plan inherits its pseudo status *)
+            if Bitset.mem parent.pseudo slot then Bitset.add pseudo slot
+          | `Point_exact ->
+            (* an exact cost obtained without a call: the patched plan
+               provably achieves the removal's lower bound *)
+            Obs.Probe.plan_patched ();
+            Obs.Probe.count "whatif.point_exact"
+          | `Bound_costed ->
+            Obs.Probe.plan_patched ();
+            Obs.Probe.count "whatif.bound_costed";
+            Bitset.add pseudo slot);
+          total := !total +. (w *. plan.cost);
+          if st.opts.shortcut_evaluation && !total > best_cost *. 3.0 then
+            raise Shortcut;
+          plans.(slot) <- plan)
+        scored;
+      base := !base + len
+    done;
     let select_cost = !total -. shell in
     (* §3.5 shrinking variant: drop structures no surviving plan uses *)
     let config =
@@ -638,6 +675,7 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
         id = st.next_id;
         config;
         plans;
+        slots = st.prepared.slots;
         select_cost;
         shell_cost = shell;
         cost = !total;
@@ -645,7 +683,7 @@ let evaluate st ~(parent : node) ~(tr : Transform.t) (config : Config.t) :
         parent = Some parent.id;
         via = Some tr;
         actual_penalty;
-        pseudo = !pseudo;
+        pseudo;
         untried = [];
         candidates_ready = false;
         pruned = false;
@@ -706,33 +744,34 @@ let rank_candidates st (n : node) : candidate list =
     (fun tr -> Obs.Probe.transform_generated ~kind:(Transform.kind tr))
     transforms;
   let old_env = O.Env.make st.catalog n.config in
-  (* index which queries use which structures, so each transformation only
-     touches the plans it actually affects *)
-  let usage : (string, (string * float) list) Hashtbl.t = Hashtbl.create 64 in
-  let usage_seen : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
-  let add_usage name qid w =
-    if not (Hashtbl.mem usage_seen (name, qid)) then begin
-      Hashtbl.add usage_seen (name, qid) ();
+  (* index which queries (by slot) use which structures, so each
+     transformation only touches the plans it actually affects *)
+  let usage : (string, (int * float) list) Hashtbl.t = Hashtbl.create 64 in
+  let usage_seen : (string * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let add_usage name slot w =
+    if not (Hashtbl.mem usage_seen (name, slot)) then begin
+      Hashtbl.add usage_seen (name, slot) ();
       let l = Option.value ~default:[] (Hashtbl.find_opt usage name) in
-      Hashtbl.replace usage name ((qid, w) :: l)
+      Hashtbl.replace usage name ((slot, w) :: l)
     end
   in
-  List.iter
-    (fun (qid, w, _) ->
-      let plan = String_map.find qid n.plans in
-      List.iter
+  Array.iteri
+    (fun slot (_, w, _) ->
+      O.Plan.iter_accesses
         (fun (a : O.Plan.access_info) ->
           List.iter
-            (fun (u : O.Plan.index_usage) -> add_usage (Index.name u.index) qid w)
+            (fun (u : O.Plan.index_usage) ->
+              add_usage (Index.name u.index) slot w)
             a.usages;
-          if Config.find_view n.config a.rel <> None then add_usage a.rel qid w)
-        (O.Plan.accesses plan))
-    st.prepared.selects;
+          if Config.find_view n.config a.rel <> None then add_usage a.rel slot w)
+        n.plans.(slot))
+    st.prepared.selects_arr;
   let affected_queries tr =
     let names =
       List.map Index.name (Transform.removed_indexes n.config tr)
       @ List.map View.name (Transform.removed_views tr)
     in
+    (* slots sort in workload order, a total order: dedup is exact *)
     List.sort_uniq compare
       (List.concat_map
          (fun name -> Option.value ~default:[] (Hashtbl.find_opt usage name))
@@ -766,10 +805,9 @@ let rank_candidates st (n : node) : candidate list =
           Some (tr, config', affected, ctx))
       transforms
   in
-  let order_by_of qid =
-    match List.find_opt (fun (q, _, _) -> q = qid) st.prepared.selects with
-    | Some (_, _, (sq : Query.select_query)) -> sq.order_by
-    | None -> []
+  let order_by_of slot =
+    let _, _, (sq : Query.select_query) = st.prepared.selects_arr.(slot) in
+    sq.order_by
   in
   let frugal_on = st.frugal <> None in
   (* Phase 2, parallel: score each applied transformation — incremental
@@ -796,10 +834,10 @@ let rank_candidates st (n : node) : candidate list =
       | None -> (0.0, 0.0)
       | Some ctx ->
         List.fold_left
-          (fun ((hi, lo) as acc) (qid, w) ->
-            let plan = String_map.find qid n.plans in
+          (fun ((hi, lo) as acc) (slot, w) ->
+            let plan = n.plans.(slot) in
             if Cost_bound.plan_affected ctx plan then begin
-              let order_by = order_by_of qid in
+              let order_by = order_by_of slot in
               let hi =
                 hi
                 +. (w
@@ -882,13 +920,9 @@ let rank_candidates st (n : node) : candidate list =
        first (see {!Frugal.sweep}).  Runs sequentially on the main domain,
        so the call sequence — and with it every counter and cache state —
        is identical whatever [opts.jobs]. *)
-    let tables_of qid =
-      match List.find_opt (fun (q, _, _) -> q = qid) st.prepared.selects with
-      | Some (_, _, (sq : Query.select_query)) -> sq.body.tables
-      | None -> []
-    in
-    let select_of qid =
-      List.find_opt (fun (q, _, _) -> q = qid) st.prepared.selects
+    let tables_of slot =
+      let _, _, (sq : Query.select_query) = st.prepared.selects_arr.(slot) in
+      sq.body.tables
     in
     let fcands =
       List.map
@@ -915,12 +949,13 @@ let rank_candidates st (n : node) : candidate list =
       | Some ctx ->
         let lo = ref delta_shell in
         List.iter
-          (fun (qid, w) ->
-            let plan = String_map.find qid n.plans in
+          (fun (slot, w) ->
+            let plan = n.plans.(slot) in
             if Cost_bound.plan_affected ctx plan then begin
+              let qid, _, _ = st.prepared.selects_arr.(slot) in
               let alo, _ =
                 O.Whatif.cost_interval st.whatif config' ~qid
-                  ~tables:(tables_of qid)
+                  ~tables:(tables_of slot)
               in
               lo := !lo +. (w *. (alo -. plan.O.Plan.cost))
             end)
@@ -940,11 +975,11 @@ let rank_candidates st (n : node) : candidate list =
       | Some ctx ->
         let lo = ref delta_shell and hi = ref delta_shell in
         List.iter
-          (fun (qid, w) ->
-            let plan = String_map.find qid n.plans in
+          (fun (slot, w) ->
+            let plan = n.plans.(slot) in
             if Cost_bound.plan_affected ctx plan then begin
-              match select_of qid with
-              | Some (_, _, sq) when Frugal.rank_remaining ledger > 0 ->
+              let qid, _, sq = st.prepared.selects_arr.(slot) in
+              if Frugal.rank_remaining ledger > 0 then begin
                 let calls_before = fst (O.Whatif.stats st.whatif) in
                 let plan' = O.Whatif.plan_select st.whatif config' ~qid sq in
                 Frugal.debit ledger
@@ -952,8 +987,9 @@ let rank_candidates st (n : node) : candidate list =
                 let d = w *. (plan'.O.Plan.cost -. plan.O.Plan.cost) in
                 lo := !lo +. d;
                 hi := !hi +. d
-              | _ ->
-                let order_by = order_by_of qid in
+              end
+              else begin
+                let order_by = order_by_of slot in
                 lo :=
                   !lo
                   +. (w
@@ -964,6 +1000,7 @@ let rank_candidates st (n : node) : candidate list =
                   +. (w
                      *. (Cost_bound.query_bound ~order_by ctx plan
                         -. plan.O.Plan.cost))
+              end
             end)
           affected;
         fc.Frugal.ival <-
@@ -1237,38 +1274,37 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
      fallback when the budget cannot pay for a re-optimization and the
      patched plan drifts loose.  The same cache entries serve the tuner's
      base-configuration report, so the pass costs the run nothing net. *)
+  let nsel = Array.length prepared.selects_arr in
   (match opts.whatif_budget with
   | None -> ()
   | Some _ ->
     ignore
-      (Pool.map pool
+      (Pool.map_array pool
          (fun (qid, _, q) -> O.Whatif.plan_select whatif opts.protected ~qid q)
-         prepared.selects));
+         prepared.selects_arr));
   (* evaluate a configuration from scratch, in batches on the worker
      domains, folding costs sequentially in workload order (used for the
      root and for the warm-start seed) *)
   let eval_scratch config =
-    let acc = ref String_map.empty in
     let total = ref 0.0 in
-    let rec go = function
-      | [] -> ()
-      | selects ->
-        let batch, rest = take_batch eval_batch selects in
-        let scored =
-          Pool.map pool
-            (fun (qid, w, q) ->
-              (qid, w, O.Whatif.plan_select whatif config ~qid q))
-            batch
-        in
-        List.iter
-          (fun (qid, w, (plan : O.Plan.t)) ->
-            acc := String_map.add qid plan !acc;
-            total := !total +. (w *. plan.cost))
-          scored;
-        go rest
-    in
-    go prepared.selects;
-    (!acc, !total)
+    let batches = ref [] in
+    let base = ref 0 in
+    while !base < nsel do
+      let len = Int.min eval_batch (nsel - !base) in
+      let scored =
+        Pool.map_array pool
+          (fun (qid, _, q) -> O.Whatif.plan_select whatif config ~qid q)
+          (Array.sub prepared.selects_arr !base len)
+      in
+      Array.iteri
+        (fun k (plan : O.Plan.t) ->
+          let _, w, _ = prepared.selects_arr.(!base + k) in
+          total := !total +. (w *. plan.cost))
+        scored;
+      batches := scored :: !batches;
+      base := !base + len
+    done;
+    (Array.concat (List.rev !batches), !total)
   in
   let shell = shell_cost_of st initial in
   let plans, select_cost = eval_scratch initial in
@@ -1277,6 +1313,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       id = 0;
       config = initial;
       plans;
+      slots = prepared.slots;
       select_cost;
       shell_cost = shell;
       cost = select_cost +. shell;
@@ -1284,7 +1321,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
       parent = None;
       via = None;
       actual_penalty = 0.0;
-      pseudo = String_map.empty;
+      pseudo = Bitset.create nsel;
       untried = [];
       candidates_ready = false;
       pruned = false;
@@ -1318,6 +1355,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
         id = st.next_id;
         config = cfg;
         plans;
+        slots = prepared.slots;
         select_cost;
         shell_cost = shell;
         cost = select_cost +. shell;
@@ -1325,7 +1363,7 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
         parent = None;
         via = None;
         actual_penalty = 0.0;
-        pseudo = String_map.empty;
+        pseudo = Bitset.create nsel;
         untried = [];
         candidates_ready = false;
         pruned = false;
@@ -1450,47 +1488,51 @@ let run ?obs catalog ~(workload : Query.workload) ~(initial : Config.t)
         (List.filter (fun n -> n.size <= opts.space_budget) st.nodes)
     in
     let recost (n : node) : node =
-      if String_map.is_empty n.pseudo then n
+      if Bitset.is_empty n.pseudo then n
       else begin
-        let cached =
-          List.filter_map
-            (fun ((qid, _, q) as e) ->
-              if String_map.mem qid n.pseudo then
-                Some
-                  ( e,
-                    O.Whatif.find_cached st.whatif n.config ~qid
-                      ~tables:q.Query.body.tables )
-              else None)
-            st.prepared.selects
-        in
+        let cached = ref [] in
+        Array.iteri
+          (fun slot (qid, w, q) ->
+            if Bitset.mem n.pseudo slot then
+              cached :=
+                ( slot,
+                  qid,
+                  w,
+                  q,
+                  O.Whatif.find_cached st.whatif n.config ~qid
+                    ~tables:q.Query.body.tables )
+                :: !cached)
+          st.prepared.selects_arr;
+        let cached = List.rev !cached in
         (* cached plans are free; commit only when the ledger covers
            every miss — partial honesty would spend calls without making
            the node's cost comparable to fully honest ones *)
         let misses =
-          List.length (List.filter (fun (_, p) -> Option.is_none p) cached)
+          List.length
+            (List.filter (fun (_, _, _, _, p) -> Option.is_none p) cached)
         in
         if misses > Frugal.remaining ledger then n
         else begin
           Frugal.debit ledger misses;
           Obs.Probe.count_n "whatif.endgame_spent" misses;
-          let plans = ref n.plans and delta = ref 0.0 in
+          let plans = Array.copy n.plans and delta = ref 0.0 in
           List.iter
-            (fun ((qid, w, q), cp) ->
+            (fun (slot, qid, w, q, cp) ->
               let p =
                 match cp with
                 | Some p -> p
                 | None -> O.Whatif.plan_select st.whatif n.config ~qid q
               in
-              let old = String_map.find qid n.plans in
+              let old = n.plans.(slot) in
               delta := !delta +. (w *. (p.O.Plan.cost -. old.O.Plan.cost));
-              plans := String_map.add qid p !plans)
+              plans.(slot) <- p)
             cached;
           {
             n with
-            plans = !plans;
+            plans;
             select_cost = n.select_cost +. !delta;
             cost = n.cost +. !delta;
-            pseudo = String_map.empty;
+            pseudo = Bitset.create (Array.length st.prepared.selects_arr);
           }
         end
       end

@@ -13,7 +13,17 @@
 module Query = Relax_sql.Query
 module Config = Relax_physical.Config
 module O = Relax_optimizer
-module String_map : Map.S with type key = string
+
+(** Fixed-size bitset over workload slots (see {!prepared}): the flat
+    representation of per-node pseudo-plan markers. *)
+module Bitset : sig
+  type t
+
+  val create : int -> t
+  val mem : t -> int -> bool
+  val add : t -> int -> unit
+  val is_empty : t -> bool
+end
 
 (** How line 6 picks among ranked candidates; [Penalty] is the paper's
     heuristic, the others exist for the ablation study. *)
@@ -103,11 +113,17 @@ type candidate = {
   delta_space : float;  (** ΔS: space saved *)
 }
 
-(** A configuration in the pool, with its evaluated plans and costs. *)
+(** A configuration in the pool, with its evaluated plans and costs.
+    Plans are held in a slot-indexed array (one slot per workload select,
+    in {!prepared.selects_arr} order) — the flat representation the
+    scoring loops scan; use {!plan_of} / {!is_pseudo} for qid-keyed
+    access. *)
 type node = {
   id : int;
   config : Config.t;
-  plans : O.Plan.t String_map.t;
+  plans : O.Plan.t array;  (** slot-indexed *)
+  slots : (string, int) Hashtbl.t;
+      (** shared qid → slot table; never mutated after {!prepare} *)
   select_cost : float;
   shell_cost : float;
   cost : float;
@@ -115,8 +131,8 @@ type node = {
   parent : int option;
   via : Transform.t option;
   actual_penalty : float;
-  pseudo : unit String_map.t;
-      (** frugal runs only: the select qids whose plan carries a
+  pseudo : Bitset.t;
+      (** frugal runs only: the select slots whose plan carries a
           bound-substituted (not re-optimized) cost; empty on exact runs *)
   mutable untried : candidate list;
   mutable candidates_ready : bool;
@@ -124,14 +140,23 @@ type node = {
 }
 
 (** Workload split into optimizable selects (including update select
-    components) and update shells. *)
+    components) and update shells.  [selects_arr] is [selects] as an
+    array; its indices are the plan slots of every {!node}. *)
 type prepared = {
   selects : (string * float * Query.select_query) list;
+  selects_arr : (string * float * Query.select_query) array;
+  slots : (string, int) Hashtbl.t;  (** qid → slot *)
   dmls : (float * Query.dml) list;
   has_updates : bool;
 }
 
 val prepare : Query.workload -> prepared
+
+val plan_of : node -> qid:string -> O.Plan.t option
+(** The node's evaluated plan for a select qid (O(1) slot lookup). *)
+
+val is_pseudo : node -> qid:string -> bool
+(** Is the qid's plan bound-substituted on this node (frugal runs)? *)
 
 val skyline_filter : candidate list -> candidate list
 (** §3.6 dominance filter: drop candidates dominated by another with

@@ -168,13 +168,13 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
       (fun (e : Query.entry) ->
         let cost =
           match e.stmt with
-          | Query.Select _ ->
-            (Search.String_map.find e.qid n.Search.plans).O.Plan.cost
+          | Query.Select _ -> (
+            match Search.plan_of n ~qid:e.qid with
+            | Some (p : O.Plan.t) -> p.cost
+            | None -> invalid_arg ("entries_of_node: no plan for " ^ e.qid))
           | Query.Dml d ->
             let select_cost =
-              match
-                Search.String_map.find_opt (Query.select_qid e.qid) n.Search.plans
-              with
+              match Search.plan_of n ~qid:(Query.select_qid e.qid) with
               | Some (p : O.Plan.t) -> p.cost
               | None -> 0.0
             in
@@ -200,10 +200,8 @@ let tune_spanned recorder (catalog : Catalog.t) (workload : Query.workload)
           (fun (qid, c) (e : Query.entry) ->
             let is_pseudo =
               match e.stmt with
-              | Query.Select _ ->
-                Search.String_map.mem e.qid n.Search.pseudo
-              | Query.Dml _ ->
-                Search.String_map.mem (Query.select_qid e.qid) n.Search.pseudo
+              | Query.Select _ -> Search.is_pseudo n ~qid:e.qid
+              | Query.Dml _ -> Search.is_pseudo n ~qid:(Query.select_qid e.qid)
             in
             if is_pseudo then
               (qid, e.weight *. O.Whatif.entry_cost outcome.whatif recommended e)

@@ -25,6 +25,9 @@ type comparison = {
   regressions : string list;  (** subset of [lines] that breached a threshold *)
   hard_regressions : string list;
       (** subset of [regressions] on [Hard]-severity metrics *)
+  skipped : string list;
+      (** wall-clock gates waived because the two host shapes differ;
+          one warning line per waived metric *)
 }
 
 (* how a metric can regress *)
@@ -85,16 +88,51 @@ let keyed_runs j =
   | Some _ -> Error "\"runs\" is not a list"
   | None -> Error "no \"runs\" field"
 
-let compare_runs ~counter_tol ~time_tol ~key base cur =
+(* The host self-description block ([bench/main.exe] stamps core count
+   and compiler version into every BENCH_*.json).  Wall-clock numbers are
+   only comparable between hosts of the same shape; counters are
+   comparable everywhere. *)
+let host_of j = Json.member "host" j
+
+let hosts_differ ~baseline ~current =
+  match (host_of baseline, host_of current) with
+  | Some b, Some c -> b <> c
+  | _ ->
+    (* a side without a host block (pre-host baselines) keeps the old
+       behaviour: compare everything *)
+    false
+
+let host_summary j =
+  match host_of j with
+  | None -> "unknown host"
+  | Some h ->
+    let cores =
+      match Option.bind (Json.member "recommended_domain_count" h) Json.to_int with
+      | Some n -> Printf.sprintf "%d core(s)" n
+      | None -> "? cores"
+    in
+    let ocaml =
+      match Option.bind (Json.member "ocaml_version" h) Json.to_string_opt with
+      | Some v -> "ocaml " ^ v
+      | None -> "ocaml ?"
+    in
+    cores ^ ", " ^ ocaml
+
+let compare_runs ~counter_tol ~time_tol ~skip_timing ~key base cur =
   let ( let* ) = Result.bind in
   List.fold_left
     (fun acc (name, dir, kind, severity, presence) ->
-      let* lines, regs, hard = acc in
+      let* lines, regs, hard, skipped = acc in
       match (field_float name base, field_float name cur) with
       | (Error _, _ | _, Error _) when presence = Optional ->
         (* frugality counters: only compared when both sides carry them *)
-        Ok (lines, regs, hard)
+        Ok (lines, regs, hard, skipped)
       | Error e, _ | _, Error e -> Error e
+      | Ok _, Ok _ when kind = Timing && skip_timing ->
+        let line =
+          Printf.sprintf "skipped    %s %-26s host shapes differ" key name
+        in
+        Ok (line :: lines, regs, hard, line :: skipped)
       | Ok b, Ok c ->
         let tol =
           match kind with Counter -> counter_tol | Timing -> time_tol
@@ -118,8 +156,9 @@ let compare_runs ~counter_tol ~time_tol ~key base cur =
         Ok
           ( line :: lines,
             (if breach then line :: regs else regs),
-            if breach && severity = Hard then line :: hard else hard ))
-    (Ok ([], [], [])) metrics
+            (if breach && severity = Hard then line :: hard else hard),
+            skipped ))
+    (Ok ([], [], [], [])) metrics
 
 let compare_json ?(counter_tol = 0.10) ?(time_tol = 0.50) ~baseline ~current ()
     : (comparison, string) result =
@@ -127,24 +166,37 @@ let compare_json ?(counter_tol = 0.10) ?(time_tol = 0.50) ~baseline ~current ()
   let* base_runs = keyed_runs baseline in
   let* cur_runs = keyed_runs current in
   let* () = if base_runs = [] then Error "baseline has no runs" else Ok () in
+  let skip_timing = hosts_differ ~baseline ~current in
   let* rev =
     List.fold_left
       (fun acc (key, base) ->
-        let* lines, regs, hard = acc in
+        let* lines, regs, hard, skipped = acc in
         match List.assoc_opt key cur_runs with
         | None ->
           Error (Printf.sprintf "current output has no run matching %S" key)
         | Some cur ->
-          let* l, r, h = compare_runs ~counter_tol ~time_tol ~key base cur in
-          Ok (l @ lines, r @ regs, h @ hard))
-      (Ok ([], [], [])) base_runs
+          let* l, r, h, s =
+            compare_runs ~counter_tol ~time_tol ~skip_timing ~key base cur
+          in
+          Ok (l @ lines, r @ regs, h @ hard, s @ skipped))
+      (Ok ([], [], [], [])) base_runs
   in
-  let lines, regressions, hard_regressions = rev in
+  let lines, regressions, hard_regressions, skipped = rev in
+  let skipped =
+    if skip_timing then
+      Printf.sprintf
+        "wall-clock gates skipped: baseline host (%s) differs from current \
+         host (%s); counter gates stay hard"
+        (host_summary baseline) (host_summary current)
+      :: List.rev skipped
+    else []
+  in
   Ok
     {
       lines = List.rev lines;
       regressions = List.rev regressions;
       hard_regressions = List.rev hard_regressions;
+      skipped;
     }
 
 let load path =
@@ -166,3 +218,94 @@ let exit_code = function
   | Ok { hard_regressions = _ :: _; _ } -> 3
   | Ok { regressions = []; _ } -> 0
   | Ok _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* multi-core scaling gate                                             *)
+(* ------------------------------------------------------------------ *)
+
+type scaling = {
+  s_lines : string list;
+  s_failures : string list;  (** hard failures (exit-3 class) *)
+  s_skipped : string option;
+      (** [Some reason] when the wall-clock assertion was waived (host
+          has too few cores to make it meaningful) *)
+}
+
+let scaling_exit_code = function
+  | Error _ -> 2
+  | Ok { s_failures = _ :: _; _ } -> 3
+  | Ok _ -> 0
+
+let run_field ~jobs name runs =
+  let key = Printf.sprintf "jobs=%d" jobs in
+  match List.assoc_opt key runs with
+  | None -> Error (Printf.sprintf "no run %s" key)
+  | Some run -> field_float name run
+
+let check_scaling ?(time_tol = 0.10) current : (scaling, string) result =
+  let ( let* ) = Result.bind in
+  let* runs = keyed_runs current in
+  let* () = if runs = [] then Error "no runs" else Ok () in
+  let cores =
+    Option.bind (host_of current) (fun h ->
+        Option.bind (Json.member "recommended_domain_count" h) Json.to_int)
+  in
+  (* determinism across the sweep is asserted unconditionally: the bench
+     compares fingerprints, costs, counters run by run and stamps the
+     verdict *)
+  let identical =
+    match Json.member "identical_results" current with
+    | Some (Json.Bool b) -> b
+    | _ -> false
+  in
+  let lines = ref [] and failures = ref [] in
+  let say fmt = Printf.ksprintf (fun l -> lines := l :: !lines) fmt in
+  let fail fmt =
+    Printf.ksprintf
+      (fun l ->
+        lines := l :: !lines;
+        failures := l :: !failures)
+      fmt
+  in
+  if identical then say "ok         identical tuning output across the jobs sweep"
+  else
+    fail
+      "SCALING    identical_results is false: the jobs sweep diverged \
+       (determinism regression)";
+  let skipped =
+    match cores with
+    | Some n when n >= 2 -> (
+      match
+        (run_field ~jobs:1 "elapsed_s" runs, run_field ~jobs:2 "elapsed_s" runs)
+      with
+      | Ok e1, Ok e2 ->
+        if e2 <= e1 *. (1.0 +. time_tol) then begin
+          say
+            "ok         jobs=2 elapsed %.2fs vs jobs=1 %.2fs (%.2fx) on a \
+             %d-core host"
+            e2 e1
+            (e1 /. Float.max 1e-9 e2)
+            n;
+          None
+        end
+        else begin
+          fail
+            "SCALING    jobs=2 elapsed %.2fs exceeds jobs=1 %.2fs by more \
+             than %.0f%% on a %d-core host: parallelism is not paying"
+            e2 e1 (100.0 *. time_tol) n;
+          None
+        end
+      | Error e, _ | _, Error e ->
+        fail "SCALING    cannot read the jobs sweep: %s" e;
+        None)
+    | Some n ->
+      Some
+        (Printf.sprintf
+           "wall-clock scaling assertion skipped: host reports %d core(s)" n)
+    | None ->
+      Some "wall-clock scaling assertion skipped: no host block in the input"
+  in
+  Ok { s_lines = List.rev !lines; s_failures = List.rev !failures; s_skipped = skipped }
+
+let check_scaling_file ?time_tol path =
+  Result.bind (load path) (fun j -> check_scaling ?time_tol j)

@@ -26,6 +26,12 @@ type comparison = {
   regressions : string list;  (** the lines that breached their threshold *)
   hard_regressions : string list;
       (** subset of [regressions] on hard-gated metrics ([what_if_calls]) *)
+  skipped : string list;
+      (** wall-clock gates waived because the [host] blocks of the two
+          files differ (core count, compiler): timing on different host
+          shapes is noise, not signal.  Non-empty iff a waiver happened;
+          the first entry summarizes both hosts.  Counter gates are never
+          waived. *)
 }
 
 val compare_json :
@@ -49,3 +55,31 @@ val compare_files :
 val exit_code : (comparison, string) result -> int
 (** [0] clean, [1] soft regression(s), [2] malformed/missing input,
     [3] hard regression(s). *)
+
+(** {1 Multi-core scaling gate}
+
+    Asserts, on one [BENCH_parallel.json], that parallelism pays: the
+    [jobs=2] run's wall clock must not exceed the [jobs=1] run's (within
+    [time_tol]), and the sweep's [identical_results] determinism verdict
+    must hold.  The wall-clock half is waived — with an explicit skip
+    reason the CI job surfaces as a [::warning] — when the file's [host]
+    block reports fewer than 2 cores (a 1-core runner cannot show
+    speedup); the determinism half is never waived. *)
+
+type scaling = {
+  s_lines : string list;  (** one line per assertion *)
+  s_failures : string list;  (** hard failures (exit-3 class) *)
+  s_skipped : string option;  (** waiver reason, when waived *)
+}
+
+val check_scaling :
+  ?time_tol:float -> Json.t -> (scaling, string) result
+(** [time_tol] defaults to 0.10: jobs=2 may be at most 10 % slower than
+    jobs=1 before the gate trips (scheduler noise allowance). *)
+
+val check_scaling_file :
+  ?time_tol:float -> string -> (scaling, string) result
+
+val scaling_exit_code : (scaling, string) result -> int
+(** [0] clean or waived, [2] malformed input, [3] scaling/determinism
+    failure. *)

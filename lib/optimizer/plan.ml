@@ -81,35 +81,69 @@ and node =
 let cost t = t.cost
 let rows t = t.rows
 
-(** Collect every access decision in the plan. *)
-let rec accesses t =
-  match t.node with
-  | Seq_scan _ | Index_scan _ | Index_seek _ | Rid_union _ -> []
-  | Access { info; input } -> info :: accesses input
-  | Rid_lookup { input; _ } | Filter { input; _ } | Sort { input; _ } ->
-    accesses input
-  | Rid_intersect (a, b) -> accesses a @ accesses b
-  | Hash_join { build; probe; _ } -> accesses build @ accesses probe
-  | Merge_join { left; right; _ } -> accesses left @ accesses right
-  | Nl_join { outer; inner; _ } -> accesses outer @ accesses inner
-  | Group { input; _ } -> accesses input
+(** Apply [f] to every access decision in the plan, pre-order.  The
+    allocation-free traversal: the scoring loops walk every plan of every
+    node per iteration, and materializing an [access_info list] per walk
+    (worse, gluing sub-lists with [@]) was measurable minor-heap churn on
+    100+-statement workloads. *)
+let iter_accesses f t =
+  let rec go t =
+    match t.node with
+    | Seq_scan _ | Index_scan _ | Index_seek _ | Rid_union _ -> ()
+    | Access { info; input } ->
+      f info;
+      go input
+    | Rid_lookup { input; _ } | Filter { input; _ } | Sort { input; _ } ->
+      go input
+    | Rid_intersect (a, b) ->
+      go a;
+      go b
+    | Hash_join { build; probe; _ } ->
+      go build;
+      go probe
+    | Merge_join { left; right; _ } ->
+      go left;
+      go right
+    | Nl_join { outer; inner; _ } ->
+      go outer;
+      go inner
+    | Group { input; _ } -> go input
+  in
+  go t
+
+(** Collect every access decision in the plan (pre-order, same order as
+    {!iter_accesses}).  One accumulator pass, no list concatenation. *)
+let accesses t =
+  let acc = ref [] in
+  iter_accesses (fun info -> acc := info :: !acc) t;
+  List.rev !acc
+
+exception Found
+
+(* short-circuiting exists over the access decisions, no list built *)
+let exists_access pred t =
+  match iter_accesses (fun a -> if pred a then raise_notrace Found) t with
+  | () -> false
+  | exception Found -> true
 
 (** All index usages in the plan. *)
 let index_usages t = List.concat_map (fun a -> a.usages) (accesses t)
 
 (** Does the plan use this physical structure (index, or any index over the
     named view / the view itself)? *)
-let uses_index t i = List.exists (fun u -> Index.equal u.index i) (index_usages t)
+let uses_index t i =
+  exists_access
+    (fun a -> List.exists (fun u -> Index.equal u.index i) a.usages)
+    t
 
-let uses_relation t rel =
-  List.exists (fun (a : access_info) -> a.rel = rel) (accesses t)
+let uses_relation t rel = exists_access (fun (a : access_info) -> a.rel = rel) t
 
 let uses_view t v =
-  List.exists
+  exists_access
     (fun (a : access_info) ->
       a.rel = View.name v
       || match a.via_view with Some v' -> View.equal v v' | None -> false)
-    (accesses t)
+    t
 
 let rec pp ppf t =
   let child = Fmt.pf ppf "@,@[<v2>  %a@]" pp in

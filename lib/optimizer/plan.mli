@@ -74,8 +74,13 @@ and node =
 val cost : t -> float
 val rows : t -> float
 
+val iter_accesses : (access_info -> unit) -> t -> unit
+(** Apply a function to every access decision, pre-order, without
+    materializing a list — the traversal the search's per-node scoring
+    loops use. *)
+
 val accesses : t -> access_info list
-(** Every access decision in the plan. *)
+(** Every access decision in the plan ({!iter_accesses} order). *)
 
 val index_usages : t -> index_usage list
 val uses_index : t -> Index.t -> bool

@@ -8,11 +8,15 @@
     configuration only requires re-optimizing the queries that used the
     replaced structures.
 
-    The plan cache is sharded by key hash with a mutex per shard, and the
-    call/hit counters are atomic, so worker domains can cost plans
-    concurrently during the parallel relaxation.  An optimization runs
-    outside any shard lock (it can take milliseconds); concurrent requests
-    for the same key are deduplicated through a per-shard in-flight set: the
+    The plan cache is sharded by key hash.  Reads are lock-free: each
+    shard publishes a read-mostly persistent-map snapshot in an
+    [Atomic.t], so a cache hit costs one atomic load and a map lookup —
+    no mutex, whatever the number of reading domains.  Writers insert
+    into the shard's hashtable under its mutex and publish the extended
+    snapshot before releasing it, so a snapshot read never observes less
+    than the last completed insert.  An optimization runs outside any
+    shard lock (it can take milliseconds); concurrent requests for the
+    same key are deduplicated through a per-shard in-flight set: the
     first requester optimizes, later ones wait on the shard's condition
     variable and count a cache hit, so the same key never pays two
     optimizer calls whatever the parallelism.
@@ -22,20 +26,42 @@
     inclusion: a recorded superset configuration's cost is a lower bound on
     the current one's (more structures can only help), a recorded subset's
     an upper bound.  {!cost_interval} serves these bounds to the frugal
-    costing tier without any optimizer call. *)
+    costing tier without any optimizer call.  The bound store is sharded
+    by qid hash with the same snapshot-publish discipline, so the
+    advisory lookups every worker domain makes during candidate scoring
+    no longer serialize on one global mutex.  The store can be persisted
+    to disk ({!save_bounds} / {!load_bounds}) keyed by the catalog
+    fingerprint: a reloaded record whose configuration fingerprint
+    matches exactly yields a point interval — repeated [tune]/[bench]
+    invocations amortize their costing. *)
 
 module Query = Relax_sql.Query
 module Config = Relax_physical.Config
 module Catalog = Relax_catalog.Catalog
+module J = Relax_obs.Json
+module Smap = Map.Make (String)
 
 type shard = {
   shard_lock : Mutex.t;
   resolved : Condition.t;
       (** signalled under [shard_lock] when an in-flight optimize lands *)
-  plans : (string, Plan.t) Hashtbl.t;
+  plans : (string, Plan.t) Hashtbl.t;  (** source of truth, under the lock *)
+  snapshot : Plan.t Smap.t Atomic.t;
+      (** read-mostly published copy: lock-free lookups.  Extended under
+          [shard_lock] on every insert, so it never trails a completed
+          write. *)
   inflight : (string, unit) Hashtbl.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
+}
+
+(* one shard of the advisory bound store; see [record_bounds] *)
+type bound_shard = {
+  b_lock : Mutex.t;  (** guards [b_tbl] and the [b_snapshot] publish *)
+  b_tbl : (string, (string list * float) list) Hashtbl.t;
+      (** per qid: (sorted fingerprint entries, optimized plan cost) of
+          every sub-configuration ever optimized for that query *)
+  b_snapshot : (string list * float) list Smap.t Atomic.t;
 }
 
 type t = {
@@ -43,10 +69,7 @@ type t = {
   shards : shard array;
   optimizer_calls : int Atomic.t;  (** optimization calls actually executed *)
   cache_hits : int Atomic.t;
-  bounds_lock : Mutex.t;  (** guards [bounds] *)
-  bounds : (string, (string list * float) list ref) Hashtbl.t;
-      (** per qid: (sorted fingerprint entries, optimized plan cost) of
-          every sub-configuration ever optimized for that query *)
+  bound_shards : bound_shard array;
 }
 
 let shard_bits = 4
@@ -61,14 +84,20 @@ let create catalog =
             shard_lock = Mutex.create ();
             resolved = Condition.create ();
             plans = Hashtbl.create 32;
+            snapshot = Atomic.make Smap.empty;
             inflight = Hashtbl.create 4;
             hits = Atomic.make 0;
             misses = Atomic.make 0;
           });
     optimizer_calls = Atomic.make 0;
     cache_hits = Atomic.make 0;
-    bounds_lock = Mutex.create ();
-    bounds = Hashtbl.create 32;
+    bound_shards =
+      Array.init shard_count (fun _ ->
+          {
+            b_lock = Mutex.create ();
+            b_tbl = Hashtbl.create 16;
+            b_snapshot = Atomic.make Smap.empty;
+          });
   }
 
 let stats t = (Atomic.get t.optimizer_calls, Atomic.get t.cache_hits)
@@ -87,6 +116,13 @@ let key config ~qid ~tables =
 
 let shard_index k = Hashtbl.hash k land (shard_count - 1)
 let series_of_shard i = Printf.sprintf "shard%02d" i
+
+(* publish [k -> p] into the shard: hashtable insert and snapshot
+   extension under the same critical section *)
+let publish_plan sh k p =
+  Mutex.protect sh.shard_lock (fun () ->
+      Hashtbl.replace sh.plans k p;
+      Atomic.set sh.snapshot (Smap.add k p (Atomic.get sh.snapshot)))
 
 (* --- the bound-aware (structure set, cost) record ----------------------- *)
 
@@ -141,40 +177,58 @@ let dominated l (a_entries, a_cost) =
   in
   List.exists covers_lower l && List.exists covers_upper l
 
+let bound_shard_of t qid = t.bound_shards.(Hashtbl.hash qid land (shard_count - 1))
+
+(* re-publish a bound shard's snapshot from its hashtable; caller holds
+   [b_lock] *)
+let republish_bounds bsh =
+  Atomic.set bsh.b_snapshot
+    (Hashtbl.fold (fun qid l acc -> Smap.add qid l acc) bsh.b_tbl Smap.empty)
+
 let record_bounds t ~qid ~fp (cost : float) =
   let entries = fingerprint_entries fp in
-  Mutex.protect t.bounds_lock (fun () ->
-      match Hashtbl.find_opt t.bounds qid with
-      | None -> Hashtbl.add t.bounds qid (ref [ (entries, cost) ])
-      | Some l ->
-        let deduped = List.filter (fun (e, _) -> e <> entries) !l in
-        let trimmed =
-          if List.length deduped < max_bounds_per_qid then deduped
-          else begin
-            (* at capacity: drop a dominated record, else the oldest *)
-            match List.filter (fun r -> not (dominated deduped r)) deduped with
-            | survivors when List.length survivors < List.length deduped ->
-              (* removing every dominated record at once is fine — each
-                 had a surviving dominator on both sides *)
-              survivors
-            | _ -> (
-              match List.rev deduped with
-              | [] -> []
-              | _ :: rev_rest -> List.rev rev_rest)
-          end
-        in
-        l := (entries, cost) :: trimmed)
+  let bsh = bound_shard_of t qid in
+  Mutex.protect bsh.b_lock (fun () ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt bsh.b_tbl qid) in
+      let deduped = List.filter (fun (e, _) -> e <> entries) l in
+      let trimmed =
+        if List.length deduped < max_bounds_per_qid then deduped
+        else begin
+          (* at capacity: drop a dominated record, else the oldest *)
+          match List.filter (fun r -> not (dominated deduped r)) deduped with
+          | survivors when List.length survivors < List.length deduped ->
+            (* removing every dominated record at once is fine — each
+               had a surviving dominator on both sides *)
+            survivors
+          | _ -> (
+            match List.rev deduped with
+            | [] -> []
+            | _ :: rev_rest -> List.rev rev_rest)
+        end
+      in
+      let l' = (entries, cost) :: trimmed in
+      Hashtbl.replace bsh.b_tbl qid l';
+      Atomic.set bsh.b_snapshot (Smap.add qid l' (Atomic.get bsh.b_snapshot)))
 
 (** Total advisory-bound records currently held, across all qids: the
     observable the bounded-growth regression test (and the daemon's
     window-size gauge) watches. *)
 let bounds_size t =
-  Mutex.protect t.bounds_lock (fun () ->
-      Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.bounds 0)
+  Array.fold_left
+    (fun acc bsh ->
+      acc
+      + Mutex.protect bsh.b_lock (fun () ->
+            Hashtbl.fold (fun _ l n -> n + List.length l) bsh.b_tbl 0))
+    0 t.bound_shards
 
 (** Drop every advisory bound.  Plans stay cached. *)
 let reset_bounds t =
-  Mutex.protect t.bounds_lock (fun () -> Hashtbl.reset t.bounds)
+  Array.iter
+    (fun bsh ->
+      Mutex.protect bsh.b_lock (fun () ->
+          Hashtbl.reset bsh.b_tbl;
+          Atomic.set bsh.b_snapshot Smap.empty))
+    t.bound_shards
 
 (* the workload qid behind a cache key or bounds qid: strip the
    select-component suffix, then anything from the '#' fingerprint
@@ -201,56 +255,70 @@ let evict t ~keep =
               (fun k _ acc -> if keep (owner_qid k) then acc else k :: acc)
               sh.plans []
           in
-          List.iter (Hashtbl.remove sh.plans) doomed))
+          List.iter (Hashtbl.remove sh.plans) doomed;
+          Atomic.set sh.snapshot
+            (List.fold_left
+               (fun m k -> Smap.remove k m)
+               (Atomic.get sh.snapshot) doomed)))
     t.shards;
-  Mutex.protect t.bounds_lock (fun () ->
-      let doomed =
-        Hashtbl.fold
-          (fun qid _ acc -> if keep (owner_qid qid) then acc else qid :: acc)
-          t.bounds []
-      in
-      List.iter (Hashtbl.remove t.bounds) doomed)
+  Array.iter
+    (fun bsh ->
+      Mutex.protect bsh.b_lock (fun () ->
+          let doomed =
+            Hashtbl.fold
+              (fun qid _ acc -> if keep (owner_qid qid) then acc else qid :: acc)
+              bsh.b_tbl []
+          in
+          List.iter (Hashtbl.remove bsh.b_tbl) doomed;
+          republish_bounds bsh))
+    t.bound_shards
 
 (** Advisory (lower, upper) bounds on the optimized plan cost of [qid]
     under [config], from costs already paid for comparable configurations:
     a recorded superset's cost bounds from below, a recorded subset's from
     above.  [(0., infinity)] when nothing comparable was ever optimized.
-    No optimizer call is made. *)
+    No optimizer call, no lock: the per-qid record list is read off the
+    owning shard's published snapshot, so concurrent scoring domains
+    never serialize here. *)
 let cost_interval t config ~qid ~tables : float * float =
   let mine = fingerprint_entries (Config.fingerprint_for_tables config tables) in
-  Mutex.protect t.bounds_lock (fun () ->
-      match Hashtbl.find_opt t.bounds qid with
-      | None -> (0.0, infinity)
-      | Some l ->
-        List.fold_left
-          (fun (lo, hi) (entries, cost) ->
-            let lo =
-              if comparable_le mine entries then Float.max lo cost else lo
-            in
-            let hi =
-              if comparable_le entries mine then Float.min hi cost else hi
-            in
-            (lo, hi))
-          (0.0, infinity) !l)
+  let bsh = bound_shard_of t qid in
+  match Smap.find_opt qid (Atomic.get bsh.b_snapshot) with
+  | None -> (0.0, infinity)
+  | Some l ->
+    List.fold_left
+      (fun (lo, hi) (entries, cost) ->
+        let lo =
+          if comparable_le mine entries then Float.max lo cost else lo
+        in
+        let hi =
+          if comparable_le entries mine then Float.min hi cost else hi
+        in
+        (lo, hi))
+      (0.0, infinity) l
 
 (* --- plan lookup and optimization --------------------------------------- *)
 
+(* Counter increments read back through [fetch_and_add], never a
+   separate [Atomic.get]: under contention incr-then-get pairs emit
+   duplicated (non-monotonic) values into the counter tracks — the
+   double-counting the first real multi-core run surfaced. *)
 let count_hit t sh i ~qid =
   Atomic.incr t.cache_hits;
-  Atomic.incr sh.hits;
+  let shard_hits = 1 + Atomic.fetch_and_add sh.hits 1 in
   Relax_obs.Probe.cache_hit ~qid;
   Relax_obs.Probe.counter_series "whatif.cache_hits"
     ~series:(series_of_shard i)
-    (float_of_int (Atomic.get sh.hits))
+    (float_of_int shard_hits)
 
 (** Memoized plan for [qid] under [config], when one is already cached.
     Never optimizes and counts nothing: a peek for the frugal evaluation
     tier, which substitutes a bound-costed plan on a miss instead of
-    paying the optimizer call. *)
+    paying the optimizer call.  Lock-free: one atomic snapshot load. *)
 let find_cached t config ~qid ~tables : Plan.t option =
   let k = key config ~qid ~tables in
   let sh = t.shards.(shard_index k) in
-  Mutex.protect sh.shard_lock (fun () -> Hashtbl.find_opt sh.plans k)
+  Smap.find_opt k (Atomic.get sh.snapshot)
 
 (** Optimized plan for a select query under [config] (memoized). *)
 let plan_select t config ~qid (sq : Query.select_query) : Plan.t =
@@ -258,55 +326,60 @@ let plan_select t config ~qid (sq : Query.select_query) : Plan.t =
   let k = qid ^ "#" ^ fp in
   let i = shard_index k in
   let sh = t.shards.(i) in
-  Mutex.lock sh.shard_lock;
-  (* wait out any in-flight optimization of the same key rather than
-     duplicating its optimizer call (request-level dedup) *)
-  let rec await () =
-    match Hashtbl.find_opt sh.plans k with
-    | Some p -> Some p
-    | None ->
-      if Hashtbl.mem sh.inflight k then begin
-        Condition.wait sh.resolved sh.shard_lock;
-        await ()
-      end
-      else None
-  in
-  match await () with
+  (* fast path: the published snapshot, no lock *)
+  match Smap.find_opt k (Atomic.get sh.snapshot) with
   | Some p ->
-    Mutex.unlock sh.shard_lock;
     count_hit t sh i ~qid;
     p
-  | None ->
-    Hashtbl.add sh.inflight k ();
-    Mutex.unlock sh.shard_lock;
-    let finalize () =
-      Mutex.protect sh.shard_lock (fun () ->
-          Hashtbl.remove sh.inflight k;
-          Condition.broadcast sh.resolved)
+  | None -> (
+    Mutex.lock sh.shard_lock;
+    (* wait out any in-flight optimization of the same key rather than
+       duplicating its optimizer call (request-level dedup) *)
+    let rec await () =
+      match Hashtbl.find_opt sh.plans k with
+      | Some p -> Some p
+      | None ->
+        if Hashtbl.mem sh.inflight k then begin
+          Condition.wait sh.resolved sh.shard_lock;
+          await ()
+        end
+        else None
     in
-    let p =
-      match
-        Atomic.incr t.optimizer_calls;
-        Atomic.incr sh.misses;
-        Relax_obs.Probe.what_if_call ~qid;
-        Relax_obs.Probe.counter "whatif.calls"
-          (float_of_int (Atomic.get t.optimizer_calls));
-        Relax_obs.Probe.counter_series "whatif.cache_misses"
-          ~series:(series_of_shard i)
-          (float_of_int (Atomic.get sh.misses));
-        Relax_obs.Probe.span "whatif.optimize" (fun () ->
-            Optimizer.optimize t.catalog config sq)
-      with
-      | p ->
-        Mutex.protect sh.shard_lock (fun () -> Hashtbl.replace sh.plans k p);
-        finalize ();
-        p
-      | exception e ->
-        finalize ();
-        raise e
-    in
-    record_bounds t ~qid ~fp p.cost;
-    p
+    match await () with
+    | Some p ->
+      Mutex.unlock sh.shard_lock;
+      count_hit t sh i ~qid;
+      p
+    | None ->
+      Hashtbl.add sh.inflight k ();
+      Mutex.unlock sh.shard_lock;
+      let finalize () =
+        Mutex.protect sh.shard_lock (fun () ->
+            Hashtbl.remove sh.inflight k;
+            Condition.broadcast sh.resolved)
+      in
+      let p =
+        match
+          let calls = 1 + Atomic.fetch_and_add t.optimizer_calls 1 in
+          let shard_misses = 1 + Atomic.fetch_and_add sh.misses 1 in
+          Relax_obs.Probe.what_if_call ~qid;
+          Relax_obs.Probe.counter "whatif.calls" (float_of_int calls);
+          Relax_obs.Probe.counter_series "whatif.cache_misses"
+            ~series:(series_of_shard i)
+            (float_of_int shard_misses);
+          Relax_obs.Probe.span "whatif.optimize" (fun () ->
+              Optimizer.optimize t.catalog config sq)
+        with
+        | p ->
+          publish_plan sh k p;
+          finalize ();
+          p
+        | exception e ->
+          finalize ();
+          raise e
+      in
+      record_bounds t ~qid ~fp p.cost;
+      p)
 
 (** Cost of one workload entry under [config]: plan cost for selects;
     select-component cost plus shell cost for updates (§3.6). *)
@@ -330,3 +403,120 @@ let workload_cost t config (w : Query.workload) : float =
 (** Per-entry costs, weighted. *)
 let per_entry_costs t config (w : Query.workload) : (string * float) list =
   List.map (fun (e : Query.entry) -> (e.qid, e.weight *. entry_cost t config e)) w
+
+(* --- on-disk persistence of the advisory bound store -------------------- *)
+
+(* The durable format deliberately stores only (qid, configuration
+   fingerprint, cost) triples — not plans: a cost record is a few dozen
+   bytes and, reloaded, serves {!cost_interval} a *point* interval
+   whenever the exact fingerprint recurs, which is what lets a repeated
+   [tune]/[bench] invocation skip the optimizer call entirely through
+   the frugal tier.  The file is keyed by {!Catalog.fingerprint}: costs
+   are only meaningful against the statistics that produced them, so a
+   mismatched catalog refuses to load. *)
+
+let bounds_to_json t : J.t =
+  let records =
+    Array.fold_left
+      (fun acc bsh ->
+        Mutex.protect bsh.b_lock (fun () ->
+            Hashtbl.fold (fun qid l acc -> (qid, l) :: acc) bsh.b_tbl acc))
+      [] t.bound_shards
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  J.Obj
+    [
+      ("version", J.Int 1);
+      ("catalog", J.String (Catalog.fingerprint t.catalog));
+      ( "bounds",
+        J.List
+          (List.concat_map
+             (fun (qid, l) ->
+               (* oldest first, so reloading through [record_bounds]
+                  (which prepends) restores newest-first order *)
+               List.rev_map
+                 (fun (entries, cost) ->
+                   J.Obj
+                     [
+                       ("qid", J.String qid);
+                       ("fp", J.String (String.concat "|" entries));
+                       ("cost", J.Float cost);
+                     ])
+                 l)
+             records) );
+    ]
+
+let save_bounds t ~file : (int, string) result =
+  match bounds_to_json t with
+  | json -> (
+    let n =
+      match json with
+      | J.Obj fields -> (
+        match List.assoc_opt "bounds" fields with
+        | Some (J.List l) -> List.length l
+        | _ -> 0)
+      | _ -> 0
+    in
+    try
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (J.to_string json);
+          Out_channel.output_char oc '\n');
+      Ok n
+    with Sys_error msg -> Error msg)
+
+let load_bounds t ~file : (int, string) result =
+  let ( let* ) = Result.bind in
+  let* contents =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | c -> Ok c
+    | exception Sys_error msg -> Error msg
+  in
+  let* json = J.of_string (String.trim contents) in
+  let member name =
+    match J.member name json with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "what-if cache: missing field %S" name)
+  in
+  let* version = member "version" in
+  let* () =
+    match version with
+    | J.Int 1 -> Ok ()
+    | _ -> Error "what-if cache: unsupported version"
+  in
+  let* cat_fp = member "catalog" in
+  let* () =
+    match cat_fp with
+    | J.String fp when fp = Catalog.fingerprint t.catalog -> Ok ()
+    | J.String _ ->
+      Error
+        "what-if cache: catalog fingerprint mismatch (stale schema or \
+         statistics); refusing to load"
+    | _ -> Error "what-if cache: catalog field is not a string"
+  in
+  let* bounds = member "bounds" in
+  let* records =
+    match bounds with
+    | J.List l -> Ok l
+    | _ -> Error "what-if cache: bounds field is not a list"
+  in
+  let* loaded =
+    List.fold_left
+      (fun acc r ->
+        let* n = acc in
+        let field name =
+          match J.member name r with
+          | Some v -> Ok v
+          | None ->
+            Error (Printf.sprintf "what-if cache: record missing %S" name)
+        in
+        let* qid = field "qid" in
+        let* fp = field "fp" in
+        let* cost = field "cost" in
+        match (qid, fp, J.to_float cost) with
+        | J.String qid, J.String fp, Some cost ->
+          record_bounds t ~qid ~fp cost;
+          Ok (n + 1)
+        | _ -> Error "what-if cache: malformed record")
+      (Ok 0) records
+  in
+  Ok loaded

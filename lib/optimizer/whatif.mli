@@ -7,12 +7,17 @@
     mechanism behind the paper's "only re-optimize queries that used a
     replaced structure".
 
-    Domain-safe: the plan cache is sharded by key hash with per-shard
-    mutexes and the counters are atomic, so {!plan_select} may be called
-    concurrently from the parallel search's worker domains.  Concurrent
-    requests for the same key are deduplicated: the first pays the
-    optimizer call, later ones wait on the shard's condition variable and
-    count a cache hit. *)
+    Domain-safe: the plan cache is sharded by key hash and every shard
+    publishes a read-mostly snapshot in an [Atomic.t], so cache-hit
+    reads ({!plan_select}'s fast path, {!find_cached}, {!cost_interval})
+    are lock-free — one atomic load plus a persistent-map lookup.
+    Writers insert under the shard mutex and publish the extended
+    snapshot before releasing it.  Concurrent requests for the same
+    uncached key are deduplicated: the first pays the optimizer call,
+    later ones wait on the shard's condition variable and count a cache
+    hit.  The advisory bound store is sharded the same way (by qid), so
+    worker domains scoring candidates never serialize on a global bounds
+    mutex. *)
 
 type t
 
@@ -78,3 +83,26 @@ val workload_cost :
 val per_entry_costs :
   t -> Relax_physical.Config.t -> Relax_sql.Query.workload ->
   (string * float) list
+
+(** {1 On-disk persistence}
+
+    The advisory bound store — (qid, configuration fingerprint, cost)
+    triples, not plans — can be saved and reloaded across processes, so
+    repeated [tune]/[bench] invocations against the same catalog
+    amortize their costing: a reloaded record whose fingerprint matches
+    the queried configuration exactly gives {!cost_interval} a point
+    interval, and the frugal tier then skips the optimizer call.  Files
+    are keyed by {!Relax_catalog.Catalog.fingerprint}; a mismatch
+    refuses to load (costs are meaningless against other statistics). *)
+
+val save_bounds : t -> file:string -> (int, string) result
+(** Write the current advisory bounds to [file] (deterministic order:
+    qids sorted, records oldest first).  [Ok n] is the record count. *)
+
+val load_bounds : t -> file:string -> (int, string) result
+(** Merge the records of [file] into the store, newest-first order
+    preserved.  [Ok n] is the number of records loaded; [Error _] on a
+    catalog-fingerprint mismatch, unreadable file or malformed JSON (the
+    store is left as it was on the mismatch path, possibly partially
+    extended on a malformed-record path — harmless, bounds are
+    advisory). *)

@@ -37,6 +37,11 @@ type stats = {
   busy_s : float array;
 }
 
+(* The 8-way cap is a *default* only: one search rarely profits from
+   more domains, so the absent-flag behaviour stays conservative.  An
+   explicit request — [RELAX_JOBS] or [create ~jobs] — is always
+   respected verbatim; {!create} records an oversubscription warning
+   counter instead of silently clamping. *)
 let default_jobs () =
   let hw = Int.min 8 (Domain.recommended_domain_count ()) in
   match Sys.getenv_opt "RELAX_JOBS" with
@@ -81,6 +86,15 @@ let worker t i () =
 
 let create ~jobs =
   let jobs = max 1 jobs in
+  (* an explicit request beyond the hardware is honoured, not clamped —
+     but it is worth a warning counter: the extra domains only add
+     scheduling noise, and the bench host-metadata stamp (BENCH_*.json)
+     needs the discrepancy to be visible *)
+  let hw = Domain.recommended_domain_count () in
+  if jobs > hw then begin
+    Obs.Probe.count "pool.oversubscribed";
+    Obs.Probe.count_n "pool.oversubscribed_by" (jobs - hw)
+  end;
   let t =
     {
       pool_jobs = jobs;
@@ -124,6 +138,37 @@ let sequential_map t f l =
   t.n_tasks <- t.n_tasks + List.length l;
   List.map f l
 
+(* Dispatch [n] slot-writing tasks and block until the countdown drains.
+   Writes of the result slots happen-before the caller's reads because
+   both sides go through [lock].  Shared by {!map} and {!map_array}. *)
+let dispatch (type b) t (n : int) (run_slot : int -> b) :
+    b option array =
+  let results : b option array = Array.make n None in
+  let errors : exn option array = Array.make n None in
+  let remaining = ref n in
+  let task i () =
+    (try results.(i) <- Some (run_slot i)
+     with e -> errors.(i) <- Some e);
+    Mutex.lock t.lock;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.lock
+  in
+  let enqueued_at = Obs.Clock.now () in
+  Mutex.lock t.lock;
+  for i = 0 to n - 1 do
+    Queue.add { enqueued_at; run = task i } t.queue
+  done;
+  t.n_tasks <- t.n_tasks + n;
+  t.n_batches <- t.n_batches + 1;
+  Condition.broadcast t.work_available;
+  while !remaining > 0 do
+    Condition.wait t.work_done t.lock
+  done;
+  Mutex.unlock t.lock;
+  reraise_first errors;
+  results
+
 let map (type a b) t (f : a -> b) (l : a list) : b list =
   match l with
   | [] -> []
@@ -133,35 +178,34 @@ let map (type a b) t (f : a -> b) (l : a list) : b list =
   | l when Array.length t.domains = 0 -> sequential_map t f l
   | l ->
     let arr = Array.of_list l in
-    let n = Array.length arr in
-    let results : b option array = Array.make n None in
-    let errors : exn option array = Array.make n None in
-    let remaining = ref n in
-    let task i () =
-      (try results.(i) <- Some (f arr.(i))
-       with e -> errors.(i) <- Some e);
-      Mutex.lock t.lock;
-      decr remaining;
-      if !remaining = 0 then Condition.broadcast t.work_done;
-      Mutex.unlock t.lock
-    in
-    let enqueued_at = Obs.Clock.now () in
-    Mutex.lock t.lock;
-    for i = 0 to n - 1 do
-      Queue.add { enqueued_at; run = task i } t.queue
-    done;
-    t.n_tasks <- t.n_tasks + n;
-    t.n_batches <- t.n_batches + 1;
-    Condition.broadcast t.work_available;
-    while !remaining > 0 do
-      Condition.wait t.work_done t.lock
-    done;
-    Mutex.unlock t.lock;
-    reraise_first errors;
-    List.init n (fun i ->
+    let results = dispatch t (Array.length arr) (fun i -> f arr.(i)) in
+    List.init (Array.length arr) (fun i ->
         match results.(i) with
         | Some r -> r
         | None -> assert false (* no exception and no result is impossible *))
+
+(* the arena-friendly variant: same contract as {!map}, arrays end to
+   end — no per-batch list rebuilding on the hot evaluation path *)
+let map_array (type a b) t (f : a -> b) (arr : a array) : b array =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if n = 1 then begin
+    t.n_tasks <- t.n_tasks + 1;
+    [| f arr.(0) |]
+  end
+  else if Array.length t.domains = 0 then begin
+    t.n_batches <- t.n_batches + 1;
+    t.n_tasks <- t.n_tasks + n;
+    Array.map f arr
+  end
+  else begin
+    let results = dispatch t n (fun i -> f arr.(i)) in
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* no exception and no result is impossible *))
+      results
+  end
 
 let shutdown t =
   if Array.length t.domains > 0 then begin

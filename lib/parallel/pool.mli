@@ -20,17 +20,22 @@ type t
 
 val create : jobs:int -> t
 (** Spawn [jobs] worker domains ([jobs <= 1] spawns none: every [map]
-    then runs sequentially in the caller).  The pool is fixed-size; call
-    {!shutdown} when done. *)
+    then runs sequentially in the caller).  An explicit request is
+    honoured verbatim — even beyond
+    [Domain.recommended_domain_count ()], in which case the
+    [pool.oversubscribed] / [pool.oversubscribed_by] warning counters
+    are recorded instead of silently clamping.  The pool is fixed-size;
+    call {!shutdown} when done. *)
 
 val jobs : t -> int
 (** The parallelism degree the pool was created with (at least 1). *)
 
 val default_jobs : unit -> int
 (** The [RELAX_JOBS] environment variable when set to a positive
-    integer, otherwise [Domain.recommended_domain_count ()] capped at 8
-    (one search never needs more domains than that; deeper fan-out only
-    adds scheduling noise). *)
+    integer (respected uncapped), otherwise
+    [Domain.recommended_domain_count ()] capped at 8.  The cap applies
+    only to this hardware-derived default, never to an explicit
+    request. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map: [map t f l] equals [List.map f l] for
@@ -39,6 +44,11 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     the smallest list index is re-raised after the whole batch has
     drained (so the pool is reusable afterwards).  Only the domain that
     created the pool may call [map]; worker tasks must not. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map} over arrays end to end: same ordering and exception contract,
+    no intermediate list allocation.  The variant the search's
+    arena-based evaluation loop uses. *)
 
 (** Lifetime counters, for {!Relax_obs.Metrics} named counters. *)
 type stats = {

@@ -1,0 +1,46 @@
+(** Big-substrate workloads: simulated statistics at TPC-H scale factors
+    1–10 and generated statement pools of 100–1000 statements.
+
+    The catalog is pure statistics (histograms, distinct counts, widths) —
+    no rows are ever materialized — so an SF-10 catalog costs the same
+    memory as the SF-0.05 test catalog while driving the optimizer and the
+    size model through realistically large cardinalities.  Statement pools
+    follow the production-workload recipe: a seed set of random templates
+    over the join graph, replicated by re-drawing every range-predicate
+    constant ([Generator.reparameterize]), the shape repeated workloads
+    actually have.  Everything is deterministic in [seed]. *)
+
+module Query = Relax_sql.Query
+module Rng = Relax_catalog.Rng
+
+let default_seed = 7100
+
+(** TPC-H-shaped catalog at scale factor [sf] (rows = [sf] × the SF-1
+    counts; 1.0–10.0 is the supported benchmarking range, smaller values
+    work and are what the unit tests use). *)
+let catalog ?(sf = 1.0) ?(seed = default_seed) () =
+  Tpch.catalog ~scale:sf ~seed ()
+
+let schema ?sf ?seed () : Generator.schema =
+  { catalog = catalog ?sf ?seed (); joins = Tpch.join_graph }
+
+let pool_qid ~rep qid = Printf.sprintf "%s-r%d" qid rep
+
+(** [pool ~templates ~reps] = [templates × reps] statements: [templates]
+    random statements (ids [g1-r0], [g2-r0], ...) plus [reps - 1]
+    reparameterized copies of each ([gK-r1], [gK-r2], ...).  26×4 = 104 is
+    the multicore determinism suite's workload; 125×8 = 1000 the top of
+    the supported pool range. *)
+let pool ?sf ?(seed = default_seed) ?(templates = 26) ?(reps = 4)
+    ?(update_fraction = 0.0) () : Query.workload =
+  if templates <= 0 || reps <= 0 then invalid_arg "Substrate.pool";
+  let sc = schema ?sf ~seed () in
+  let profile = { Generator.default_profile with update_fraction } in
+  let base = Generator.workload ~seed ~profile sc ~n:templates in
+  let rng = Rng.create (seed + 1) in
+  List.concat_map
+    (fun rep ->
+      List.map
+        (fun (e : Query.entry) -> { e with qid = pool_qid ~rep e.qid })
+        (if rep = 0 then base else Generator.reparameterize sc rng base))
+    (List.init reps Fun.id)

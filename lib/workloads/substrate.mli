@@ -1,0 +1,30 @@
+(** Big-substrate workloads for multi-core benchmarking: simulated
+    statistics at TPC-H scale factors 1–10 and generated statement pools
+    of 100–1000 statements.  Catalogs are statistics-only (an SF-10
+    catalog costs no more memory than a test-sized one); pools are
+    template sets replicated by re-drawing predicate constants, and
+    everything is deterministic in [seed]. *)
+
+val default_seed : int
+
+val catalog : ?sf:float -> ?seed:int -> unit -> Relax_catalog.Catalog.t
+(** TPC-H-shaped catalog at scale factor [sf] (default 1.0; rows = [sf] ×
+    the SF-1 counts).  1.0–10.0 is the benchmarking range; smaller values
+    work too. *)
+
+val schema : ?sf:float -> ?seed:int -> unit -> Generator.schema
+(** [catalog] packaged with the TPC-H join graph for the generator. *)
+
+val pool :
+  ?sf:float ->
+  ?seed:int ->
+  ?templates:int ->
+  ?reps:int ->
+  ?update_fraction:float ->
+  unit ->
+  Relax_sql.Query.workload
+(** A generated pool of [templates × reps] statements: [templates] random
+    templates over the join graph plus [reps - 1] reparameterized copies
+    of each (qids [gK-rN]).  Defaults 26×4 = 104; 125×8 = 1000 is the top
+    of the supported range.
+    @raise Invalid_argument when [templates] or [reps] is not positive. *)

@@ -9,6 +9,7 @@ let () =
       ("obs", Suite_obs.suite);
       ("profile", Suite_profile.suite);
       ("parallel", Suite_parallel.suite);
+      ("multicore", Suite_multicore.suite);
       ("baseline", Suite_baseline.suite);
       ("workloads", Suite_workloads.suite);
       ("costing", Suite_costing.suite);
