@@ -1,20 +1,30 @@
-(** relax-lint driver: run the static-analysis rules over the cmt files
-    of a build tree (normally [lib/], via the [@lint] dune alias).
+(** relax-lint driver: run the interprocedural effect analysis and the
+    L1–L8 rules over the cmt files of a build tree (normally [lib/], via
+    the [@lint] dune alias).
 
     Exit status is non-zero when any unwaived finding remains, so
     [dune build @lint] doubles as the CI gate.  Findings are printed as
-    human-readable lines and, with [--jsonl], written as JSONL reusing
-    the observability layer's JSON printer. *)
+    human-readable lines and, with [--jsonl] / [--sarif], written as
+    JSONL and SARIF 2.1.0 for the CI artifact and GitHub code scanning.
+    [--effects-dump FILE] writes the solved per-node effect-signature
+    table as JSONL; the analysis is deterministic, so two runs over the
+    same build tree produce byte-identical dumps. *)
 
 let () =
   let root = ref "lib" in
   let jsonl = ref "" in
+  let sarif = ref "" in
+  let effects_dump = ref "" in
   let quiet = ref false in
   let assume_parallel = ref false in
   let args =
     [
       ("--root", Arg.Set_string root, "DIR directory scanned for .cmt files (default: lib)");
       ("--jsonl", Arg.Set_string jsonl, "FILE write findings as JSONL");
+      ("--sarif", Arg.Set_string sarif, "FILE write findings as SARIF 2.1.0");
+      ( "--effects-dump",
+        Arg.Set_string effects_dump,
+        "FILE write the solved effect-signature table as JSONL" );
       ("--quiet", Arg.Set quiet, " suppress the per-finding text output");
       ( "--assume-parallel",
         Arg.Set assume_parallel,
@@ -23,7 +33,7 @@ let () =
   in
   Arg.parse args
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "lint [--root DIR] [--jsonl FILE]";
+    "lint [--root DIR] [--jsonl FILE] [--sarif FILE] [--effects-dump FILE]";
   (* The cmt files live in the build tree.  Under the [@lint] alias the
      action already runs from [_build/default], so [--root lib] is right
      as given; under [dune exec] from the workspace root it is not, so
@@ -36,19 +46,25 @@ let () =
         assume_parallel = !assume_parallel;
       }
   in
+  let attempted = ref [ !root ] in
   let result =
     let r = run ~root:!root ~src_root:"." in
     if r.modules_checked > 0 || not (Filename.is_relative !root) then r
     else begin
       let build_root = Filename.dirname (Filename.dirname Sys.executable_name) in
-      run ~root:(Filename.concat build_root !root) ~src_root:build_root
+      let fallback = Filename.concat build_root !root in
+      attempted := !attempted @ [ fallback ];
+      run ~root:fallback ~src_root:build_root
     end
   in
   if result.modules_checked = 0 then begin
+    (* empty scan is its own exit code (2, not the findings exit 1 and
+       not "clean" 0) and names every root searched, so an invocation
+       order that runs lint before the library build is diagnosable *)
     Fmt.epr
-      "relax-lint: no cmt files under %s — build first (dune build) or \
-       point --root at a build tree@."
-      !root;
+      "relax-lint: no cmt files found; searched build-tree root(s): %s — \
+       build first (dune build) or point --root at a build tree@."
+      (String.concat ", " !attempted);
     exit 2
   end;
   let module F = Relax_lint.Finding in
@@ -74,6 +90,19 @@ let () =
     in
     output_string oc (Relax_obs.Json.to_string summary);
     output_char oc '\n';
+    close_out oc
+  end;
+  if !sarif <> "" then
+    Relax_lint.Sarif.write ~path:!sarif ~findings:result.findings
+      ~waived:result.waived;
+  if !effects_dump <> "" then begin
+    let oc = open_out !effects_dump in
+    List.iter
+      (fun row ->
+        output_string oc
+          (Relax_obs.Json.to_string (Relax_lint.Engine.sig_row_to_json row));
+        output_char oc '\n')
+      result.signatures;
     close_out oc
   end;
   Fmt.pr "relax-lint: %d module(s), %d finding(s), %d waived, %d in the \

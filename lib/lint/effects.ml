@@ -1,0 +1,296 @@
+type eff =
+  | Mutates_shared
+  | Mutates_args
+  | Mutates_guarded
+  | Acquires_mutex
+  | Atomic_read
+  | Atomic_write
+  | Reads_clock
+  | Nondet
+  | Reads_ambient
+  | Raises
+  | Io
+
+let all =
+  [
+    Mutates_shared;
+    Mutates_args;
+    Mutates_guarded;
+    Acquires_mutex;
+    Atomic_read;
+    Atomic_write;
+    Reads_clock;
+    Nondet;
+    Reads_ambient;
+    Raises;
+    Io;
+  ]
+
+let eff_name = function
+  | Mutates_shared -> "mutates-shared-state"
+  | Mutates_args -> "mutates-argument"
+  | Mutates_guarded -> "mutex-guarded-mutation"
+  | Acquires_mutex -> "acquires-mutex"
+  | Atomic_read -> "atomic-read"
+  | Atomic_write -> "atomic-write"
+  | Reads_clock -> "reads-clock"
+  | Nondet -> "nondeterministic-iteration"
+  | Reads_ambient -> "reads-ambient-recorder"
+  | Raises -> "raises"
+  | Io -> "performs-io"
+
+let captured_name = "mutates-captured-state"
+
+let bit = function
+  | Mutates_shared -> 1
+  | Mutates_args -> 2
+  | Mutates_guarded -> 4
+  | Acquires_mutex -> 8
+  | Atomic_read -> 16
+  | Atomic_write -> 32
+  | Reads_clock -> 64
+  | Nondet -> 128
+  | Reads_ambient -> 256
+  | Raises -> 512
+  | Io -> 1024
+
+module Set = struct
+  type t = int
+
+  let empty = 0
+  let singleton e = bit e
+  let add e t = t lor bit e
+  let mem e t = t land bit e <> 0
+  let union = ( lor )
+  let inter = ( land )
+  let diff a b = a land lnot b
+  let subset a b = a land lnot b = 0
+  let is_empty t = t = 0
+  let of_list l = List.fold_left (fun t e -> add e t) empty l
+  let to_list t = List.filter (fun e -> mem e t) all
+end
+
+module SSet = Stdlib.Set.Make (String)
+module SMap = Stdlib.Map.Make (String)
+
+type loc = { file : string; line : int; col : int }
+type witness = { w_eff : eff; w_detail : string; w_loc : loc }
+
+type direct = {
+  d_flagged : Set.t;
+  d_sanctioned : Set.t;
+  d_cap_param : SSet.t;
+  d_cap_local : SSet.t;
+  d_witnesses : (eff * witness) list;
+  d_cap_witness : witness option;
+}
+
+let direct_empty =
+  {
+    d_flagged = Set.empty;
+    d_sanctioned = Set.empty;
+    d_cap_param = SSet.empty;
+    d_cap_local = SSet.empty;
+    d_witnesses = [];
+    d_cap_witness = None;
+  }
+
+type argk =
+  | Arg_none
+  | Arg_args
+  | Arg_captured_param of string
+  | Arg_captured_local of string
+  | Arg_shared
+
+type edge = { callee : string; site : loc; guarded : bool; argk : argk }
+
+type prov =
+  | Direct of witness
+  | Via of { callee : string; site : loc; src : [ `Eff of eff | `Cap ] }
+
+type signature_ = {
+  s_flagged : Set.t;
+  s_sanctioned : Set.t;
+  s_cap_param : SSet.t;
+  s_cap_local : SSet.t;
+  s_prov : (eff * prov) list;
+  s_cap_prov : prov option;
+}
+
+let captured s =
+  not (SSet.is_empty s.s_cap_param && SSet.is_empty s.s_cap_local)
+
+(* --------------------------------------------------------------------- *)
+(* fixpoint                                                              *)
+(* --------------------------------------------------------------------- *)
+
+(* Mutable working state per node; converted to [signature_] at the end. *)
+type cell = {
+  mutable flagged : Set.t;
+  mutable sanctioned : Set.t;
+  mutable cap_param : SSet.t;
+  mutable cap_local : SSet.t;
+  mutable prov : (eff * prov) list;  (* first acquisition only *)
+  mutable cap_prov : prov option;
+}
+
+let add_eff cell ~sanctioned e p =
+  if sanctioned then begin
+    if not (Set.mem e cell.sanctioned) then begin
+      cell.sanctioned <- Set.add e cell.sanctioned;
+      true
+    end
+    else false
+  end
+  else if not (Set.mem e cell.flagged) then begin
+    cell.flagged <- Set.add e cell.flagged;
+    if not (List.mem_assoc e cell.prov) then cell.prov <- (e, p) :: cell.prov;
+    true
+  end
+  else false
+
+let add_cap cell which owner p =
+  let set = match which with `P -> cell.cap_param | `L -> cell.cap_local in
+  if SSet.mem owner set then false
+  else begin
+    (match which with
+    | `P -> cell.cap_param <- SSet.add owner cell.cap_param
+    | `L -> cell.cap_local <- SSet.add owner cell.cap_local);
+    if cell.cap_prov = None then cell.cap_prov <- Some p;
+    true
+  end
+
+(* Pull [callee]'s cell into [caller]'s through one edge.  Returns true
+   when anything changed.  The [Mutates_args] bit is re-interpreted
+   through the call site's worst argument; capture sets dissolve when
+   they reach their owner; under a held mutex every mutation class
+   degrades to [Mutates_guarded]. *)
+let propagate ~caller_id caller callee edge =
+  let changed = ref false in
+  let mark b = if b then changed := true in
+  let via src = Via { callee = edge.callee; site = edge.site; src } in
+  let pull_set ~sanctioned set =
+    List.iter
+      (fun e ->
+        if Set.mem e set then
+          match e with
+          | Mutates_args ->
+            if edge.guarded then
+              mark (add_eff caller ~sanctioned Mutates_guarded (via (`Eff e)))
+            else (
+              match edge.argk with
+              | Arg_none -> ()
+              | Arg_args ->
+                mark (add_eff caller ~sanctioned Mutates_args (via (`Eff e)))
+              | Arg_shared ->
+                mark (add_eff caller ~sanctioned Mutates_shared (via (`Eff e)))
+              | Arg_captured_param owner ->
+                if sanctioned then
+                  mark (add_eff caller ~sanctioned Mutates_args (via (`Eff e)))
+                else mark (add_cap caller `P owner (via (`Eff e)))
+              | Arg_captured_local owner ->
+                if sanctioned then
+                  mark (add_eff caller ~sanctioned Mutates_args (via (`Eff e)))
+                else mark (add_cap caller `L owner (via (`Eff e))))
+          | Mutates_shared when edge.guarded ->
+            mark (add_eff caller ~sanctioned Mutates_guarded (via (`Eff e)))
+          | e -> mark (add_eff caller ~sanctioned e (via (`Eff e))))
+      all
+  in
+  pull_set ~sanctioned:false callee.flagged;
+  pull_set ~sanctioned:true callee.sanctioned;
+  let pull_caps which set =
+    SSet.iter
+      (fun owner ->
+        if owner = caller_id then begin
+          (* the capture has come home: the closure mutates what is, for
+             this very node, a parameter or a plain local *)
+          match which with
+          | `P ->
+            if edge.guarded then
+              mark (add_eff caller ~sanctioned:false Mutates_guarded (via `Cap))
+            else mark (add_eff caller ~sanctioned:false Mutates_args (via `Cap))
+          | `L ->
+            if edge.guarded then
+              mark (add_eff caller ~sanctioned:false Mutates_guarded (via `Cap))
+        end
+        else if edge.guarded then
+          mark (add_eff caller ~sanctioned:false Mutates_guarded (via `Cap))
+        else mark (add_cap caller which owner (via `Cap)))
+      set
+  in
+  pull_caps `P callee.cap_param;
+  pull_caps `L callee.cap_local;
+  !changed
+
+let solve ~nodes ~edges =
+  let nodes = List.sort (fun (a, _) (b, _) -> String.compare a b) nodes in
+  let cells = Hashtbl.create (List.length nodes * 2) in
+  List.iter
+    (fun (id, d) ->
+      Hashtbl.replace cells id
+        {
+          flagged = d.d_flagged;
+          sanctioned = d.d_sanctioned;
+          cap_param = d.d_cap_param;
+          cap_local = d.d_cap_local;
+          prov = List.map (fun (e, w) -> (e, Direct w)) d.d_witnesses;
+          cap_prov = Option.map (fun w -> Direct w) d.d_cap_witness;
+        })
+    nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (id, _) ->
+        let caller = Hashtbl.find cells id in
+        match SMap.find_opt id edges with
+        | None -> ()
+        | Some es ->
+          List.iter
+            (fun e ->
+              match Hashtbl.find_opt cells e.callee with
+              | None -> ()
+              | Some callee ->
+                if propagate ~caller_id:id caller callee e then changed := true)
+            es)
+      nodes
+  done;
+  List.fold_left
+    (fun acc (id, _) ->
+      let c = Hashtbl.find cells id in
+      SMap.add id
+        {
+          s_flagged = c.flagged;
+          s_sanctioned = c.sanctioned;
+          s_cap_param = c.cap_param;
+          s_cap_local = c.cap_local;
+          s_prov = List.rev c.prov;
+          s_cap_prov = c.cap_prov;
+        }
+        acc)
+    SMap.empty nodes
+
+let chain sigs start src =
+  let rec go acc node src depth =
+    if depth > 64 then (List.rev acc, None)
+    else
+      match SMap.find_opt node sigs with
+      | None -> (List.rev acc, None)
+      | Some s -> (
+        let p =
+          match src with
+          | `Cap -> s.s_cap_prov
+          | `Eff e -> List.assoc_opt e s.s_prov
+        in
+        match p with
+        | None -> (List.rev acc, None)
+        | Some (Direct w) -> (List.rev acc, Some w)
+        | Some (Via v) -> go (v.callee :: acc) v.callee v.src (depth + 1))
+  in
+  go [ start ] start src 0
+
+let names set ~cap =
+  let l = List.map eff_name (Set.to_list set) in
+  let l = if cap then l @ [ captured_name ] else l in
+  List.sort String.compare l

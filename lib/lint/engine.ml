@@ -1,3 +1,6 @@
+module E = Effects
+module C = Callgraph
+
 type config = {
   root : string;
   src_root : string;
@@ -5,6 +8,8 @@ type config = {
   costing_dirs : string list;
   intdiv_dirs : string list;
   core_dirs : string list;
+  lock_dirs : string list;
+  costing_entry_modules : string list;
   assume_parallel : bool;
 }
 
@@ -16,14 +21,27 @@ let default ~root =
     costing_dirs = [ "lib/core"; "lib/physical"; "lib/check" ];
     intdiv_dirs = [ "lib/physical" ];
     core_dirs = [ "lib/core" ];
+    lock_dirs = [ "lib/optimizer"; "lib/parallel" ];
+    costing_entry_modules = [ "Cost_bound"; "Size_model"; "Access_path" ];
     assume_parallel = false;
   }
+
+type sig_row = {
+  sr_node : string;
+  sr_module : string;
+  sr_source : string;
+  sr_toplevel : bool;
+  sr_pool : bool;
+  sr_effects : string list;
+  sr_sanctioned : string list;
+}
 
 type result = {
   findings : Finding.t list;
   waived : Finding.t list;
   modules_checked : int;
   parallel_reachable : string list;
+  signatures : sig_row list;
 }
 
 let contains ~fragment s =
@@ -34,24 +52,30 @@ let contains ~fragment s =
   in
   go 0
 
-let in_dirs dirs source =
-  List.exists (fun d -> contains ~fragment:d source) dirs
+let in_dirs dirs source = List.exists (fun d -> contains ~fragment:d source) dirs
 
-(* transitive import closure of the pool-task seeds, restricted to the
-   modules actually loaded *)
-let reachable_modules (mods : Cmt_load.modul list) =
+(* ------------------------------------------------------------------ *)
+(* L1 reachability: transitive import closure of the pool-task seeds   *)
+(* ------------------------------------------------------------------ *)
+
+let reachable_modules (mods : (Cmt_load.modul * C.analysis option) list) =
   let by_name = Hashtbl.create 64 in
-  List.iter (fun (m : Cmt_load.modul) -> Hashtbl.replace by_name m.modname m) mods;
+  List.iter
+    (fun ((m : Cmt_load.modul), _) -> Hashtbl.replace by_name m.modname m)
+    mods;
   let seeds =
-    List.filter
-      (fun (m : Cmt_load.modul) ->
-        (match m.source with
-        | Some s -> in_dirs [ "lib/parallel" ] s
-        | None -> false)
-        ||
-        match m.structure with
-        | Some str -> Rules.references_pool_tasks str
-        | None -> false)
+    List.filter_map
+      (fun ((m : Cmt_load.modul), analysis) ->
+        let is_seed =
+          (match m.source with
+          | Some s -> in_dirs [ "lib/parallel" ] s
+          | None -> false)
+          ||
+          match analysis with
+          | Some a -> Rules.references_pool_tasks a
+          | None -> false
+        in
+        if is_seed then Some m else None)
       mods
   in
   let reachable = Hashtbl.create 64 in
@@ -76,15 +100,146 @@ let reachable_modules (mods : Cmt_load.modul list) =
   List.iter (fun (m : Cmt_load.modul) -> visit m.modname) seeds;
   reachable
 
+(* ------------------------------------------------------------------ *)
+(* graph assembly                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* effects originating in the sanctioned observability layer move to
+   the sanctioned side before the fixpoint runs *)
+let sanctify (n : C.node) =
+  let d = n.C.n_direct in
+  {
+    n with
+    C.n_direct =
+      {
+        E.direct_empty with
+        E.d_sanctioned = E.Set.union d.E.d_flagged d.E.d_sanctioned;
+      };
+  }
+
+let build_graph (analyses : C.analysis list) =
+  let node_by_id = Hashtbl.create 512 in
+  let by_key = Hashtbl.create 256 in
+  List.iter
+    (fun (a : C.analysis) ->
+      List.iter
+        (fun (n : C.node) ->
+          Hashtbl.replace node_by_id n.C.n_id n;
+          match n.C.n_key with
+          | None -> ()
+          | Some k ->
+            let prev =
+              match Hashtbl.find_opt by_key k with Some l -> l | None -> []
+            in
+            Hashtbl.replace by_key k (n.C.n_id :: prev))
+        a.C.a_nodes)
+    analyses;
+  Hashtbl.iter
+    (fun k ids -> Hashtbl.replace by_key k (List.sort String.compare ids))
+    (Hashtbl.copy by_key);
+  let resolve = function
+    | C.Tnode id -> [ id ]
+    | C.Tkey k -> ( match Hashtbl.find_opt by_key k with Some l -> l | None -> [])
+  in
+  let nodes =
+    List.concat_map
+      (fun (a : C.analysis) ->
+        List.map (fun (n : C.node) -> (n.C.n_id, n.C.n_direct)) a.C.a_nodes)
+      analyses
+  in
+  let edges =
+    List.fold_left
+      (fun acc (a : C.analysis) ->
+        List.fold_left
+          (fun acc (n : C.node) ->
+            let es =
+              List.concat_map
+                (fun (e : C.raw_edge) ->
+                  List.map
+                    (fun callee ->
+                      {
+                        E.callee;
+                        site = e.C.re_site;
+                        guarded = e.C.re_guarded;
+                        argk = e.C.re_argk;
+                      })
+                    (resolve e.C.re_target))
+                n.C.n_edges
+            in
+            if es = [] then acc else E.SMap.add n.C.n_id es acc)
+          acc a.C.a_nodes)
+      E.SMap.empty analyses
+  in
+  let sigs = E.solve ~nodes ~edges in
+  { Rules.sigs; node_by_id; resolve }
+
+let signature_rows (analyses : C.analysis list) (g : Rules.graph) =
+  List.concat_map
+    (fun (a : C.analysis) ->
+      List.filter_map
+        (fun (n : C.node) ->
+          match E.SMap.find_opt n.C.n_id g.Rules.sigs with
+          | None -> None
+          | Some s ->
+            Some
+              {
+                sr_node = n.C.n_id;
+                sr_module = n.C.n_modname;
+                sr_source = n.C.n_source;
+                sr_toplevel = n.C.n_toplevel;
+                sr_pool = n.C.n_pool_closure;
+                sr_effects = E.names s.E.s_flagged ~cap:(E.captured s);
+                sr_sanctioned = E.names s.E.s_sanctioned ~cap:false;
+              })
+        a.C.a_nodes)
+    analyses
+  |> List.sort (fun a b -> String.compare a.sr_node b.sr_node)
+
+let sig_row_to_json r =
+  let module J = Relax_obs.Json in
+  J.Obj
+    [
+      ("event", J.String "lint.signature");
+      ("node", J.String r.sr_node);
+      ("module", J.String r.sr_module);
+      ("source", J.String r.sr_source);
+      ("toplevel", J.Bool r.sr_toplevel);
+      ("pool_closure", J.Bool r.sr_pool);
+      ("effects", J.List (List.map (fun e -> J.String e) r.sr_effects));
+      ( "sanctioned",
+        J.List (List.map (fun e -> J.String e) r.sr_sanctioned) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
 let run config =
   let mods = Cmt_load.scan ~root:config.root in
-  let reachable = reachable_modules mods in
-  let findings = ref [] and waived = ref [] in
+  let pairs =
+    List.map
+      (fun (m : Cmt_load.modul) ->
+        match (m.structure, m.source) with
+        | Some str, Some source ->
+          let a = C.analyze ~modname:m.modname ~source str in
+          let a =
+            if in_dirs config.obs_dirs source then
+              { a with C.a_nodes = List.map sanctify a.C.a_nodes }
+            else a
+          in
+          (m, Some a)
+        | _ -> (m, None))
+      mods
+  in
+  let analyses = List.filter_map snd pairs in
+  let reachable = reachable_modules pairs in
+  let graph = build_graph analyses in
+  let all_found = ref [] in
   let checked = ref 0 in
   List.iter
-    (fun (m : Cmt_load.modul) ->
-      match (m.structure, m.source) with
-      | Some str, Some source ->
+    (fun ((m : Cmt_load.modul), analysis) ->
+      match (analysis, m.source) with
+      | Some a, Some source ->
         incr checked;
         let scope =
           {
@@ -94,25 +249,68 @@ let run config =
             in_costing = in_dirs config.costing_dirs source;
             in_intdiv = in_dirs config.intdiv_dirs source;
             in_core = in_dirs config.core_dirs source;
+            in_lock = in_dirs config.lock_dirs source;
           }
         in
-        let found = Rules.check scope str in
-        if found <> [] then begin
-          let w = Waiver.load (Filename.concat config.src_root source) in
-          List.iter
-            (fun (f : Finding.t) ->
-              if Waiver.covers w ~rule:f.rule ~line:f.line then
-                waived := f :: !waived
-              else findings := f :: !findings)
-            found
-        end
+        all_found := Rules.check_module scope graph a :: !all_found
       | _ -> ())
-    mods;
+    pairs;
+  all_found :=
+    Rules.check_costing graph ~entry_modules:config.costing_entry_modules
+      analyses
+    :: !all_found;
+  (* waivers are keyed by the file a finding lands in (an L7 finding can
+     ground in another module), so load them per file, lazily *)
+  let waiver_cache = Hashtbl.create 64 in
+  let waivers_for file =
+    match Hashtbl.find_opt waiver_cache file with
+    | Some w -> w
+    | None ->
+      let w = Waiver.load (Filename.concat config.src_root file) in
+      Hashtbl.replace waiver_cache file w;
+      w
+  in
+  let findings = ref [] and waived = ref [] in
+  List.iter
+    (fun (f : Finding.t) ->
+      if Waiver.covers (waivers_for f.file) ~rule:f.rule ~line:f.line then
+        waived := f :: !waived
+      else findings := f :: !findings)
+    (List.concat !all_found);
+  (* W0: waiver comments that suppressed nothing in this run *)
+  List.iter
+    (fun (a : C.analysis) ->
+      let w = waivers_for a.C.a_source in
+      List.iter
+        (fun (line, rules) ->
+          let used =
+            List.exists
+              (fun (f : Finding.t) ->
+                f.file = a.C.a_source
+                && (f.line = line || f.line = line + 1)
+                && List.mem f.rule rules)
+              !waived
+          in
+          if not used then
+            findings :=
+              Finding.make ~rule:"W0" ~file:a.C.a_source ~line ~col:0
+                ~message:
+                  (Printf.sprintf
+                     "stale waiver: `relax-lint: allow %s` suppresses no \
+                      finding"
+                     (String.concat "," rules))
+                ~suggestion:
+                  "delete the waiver (the code it excused is gone) or fix \
+                   its rule list; stale waivers hide real future findings"
+              :: !findings)
+        (Waiver.entries w))
+    analyses;
   {
-    findings = List.sort Finding.compare !findings;
+    findings = List.sort_uniq Finding.compare !findings;
     waived = List.sort Finding.compare !waived;
     modules_checked = !checked;
     parallel_reachable =
       Hashtbl.fold (fun k () acc -> k :: acc) reachable []
       |> List.sort String.compare;
+    signatures = signature_rows analyses graph;
   }

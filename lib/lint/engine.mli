@@ -1,35 +1,66 @@
-(** The lint engine: load cmts, compute the L1 reachability closure,
-    scope and run the rules, apply waivers.
+(** The lint engine: load cmts, build the whole-program call graph,
+    solve effect signatures to a fixpoint, scope and run the rules,
+    apply waivers, and report the ones that suppress nothing (W0).
 
     The L1 scope is the transitive import closure of every module that
     submits task closures to [Relax_parallel.Pool] (plus [lib/parallel]
     itself): anything such a module can call may execute on a worker
     domain.  Imports over-approximate calls, which is the safe direction
-    for a race detector. *)
+    for a race detector.  L6–L8 instead run over the solved call graph,
+    so an effect introduced two call hops away — or smuggled through a
+    captured mutable — still reaches the rule.
+
+    Modules under [obs_dirs] are {e sanctioned}: their direct effects
+    move to the sanctioned side of every signature they flow into.  The
+    observability layer's domain-safety is established separately (its
+    own rule scope, the TSan job, the single waived clock read), so a
+    probe emitted from a pool task does not fail L6. *)
 
 type config = {
   root : string;  (** directory scanned (recursively) for [.cmt] files *)
   src_root : string;
       (** prefix against which cmt-recorded source paths resolve (for
           reading waiver comments); [.] when running from the build root *)
-  obs_dirs : string list;  (** path fragments exempt from L4/L5 *)
+  obs_dirs : string list;  (** sanctioned instrumentation layer, exempt L4 *)
   costing_dirs : string list;  (** L3 float-comparison scope *)
   intdiv_dirs : string list;  (** L3 int-division scope *)
   core_dirs : string list;  (** L5 Hashtbl-iteration scope *)
+  lock_dirs : string list;  (** L8 lock-discipline scope *)
+  costing_entry_modules : string list;
+      (** canonical module names whose public bindings seed L7 *)
   assume_parallel : bool;
       (** treat every module as pool-reachable (fixture testing) *)
 }
 
 val default : root:string -> config
-(** The repository layout: obs = [lib/obs], costing = [lib/core],
-    [lib/physical], [lib/check], int-division = [lib/physical], core =
-    [lib/core]; [src_root = "."]. *)
+(** The repository layout: obs = [lib/obs]; costing = [lib/core],
+    [lib/physical], [lib/check]; int-division = [lib/physical]; core =
+    [lib/core]; locks = [lib/optimizer], [lib/parallel]; costing entry
+    modules = [Cost_bound], [Size_model], [Access_path];
+    [src_root = "."]. *)
+
+(** One row of the [--effects-dump] table: a node and its solved
+    signature, with effect sets rendered as sorted name lists. *)
+type sig_row = {
+  sr_node : string;
+  sr_module : string;
+  sr_source : string;
+  sr_toplevel : bool;
+  sr_pool : bool;
+  sr_effects : string list;  (** flagged side, plus the captured pseudo-effect *)
+  sr_sanctioned : string list;
+}
 
 type result = {
   findings : Finding.t list;  (** unwaived, sorted by position *)
   waived : Finding.t list;  (** suppressed by inline waivers *)
   modules_checked : int;
   parallel_reachable : string list;  (** module names in the L1 closure *)
+  signatures : sig_row list;  (** every node, sorted by node id *)
 }
 
 val run : config -> result
+
+val sig_row_to_json : sig_row -> Relax_obs.Json.t
+(** [{"event":"lint.signature","node":...,"effects":[...],...}] — one
+    line of the effects dump. *)

@@ -7,6 +7,9 @@ type t = {
   suggestion : string;
 }
 
+let make ~rule ~file ~line ~col ~message ~suggestion =
+  { rule; file; line; col; message; suggestion }
+
 let of_loc ~rule ~message ~suggestion (loc : Location.t) =
   let p = loc.loc_start in
   {

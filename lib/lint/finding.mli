@@ -5,13 +5,23 @@
     report as an artifact while the build log stays greppable. *)
 
 type t = {
-  rule : string;  (** "L1" .. "L5" *)
+  rule : string;  (** "L1" .. "L8", or "W0" for stale waivers *)
   file : string;  (** source path as recorded in the cmt, e.g. [lib/core/search.ml] *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based, matching the compiler's own convention *)
   message : string;
   suggestion : string;
 }
+
+val make :
+  rule:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  message:string ->
+  suggestion:string ->
+  t
+(** Build a finding from an already-extracted position. *)
 
 val of_loc :
   rule:string -> message:string -> suggestion:string -> Location.t -> t

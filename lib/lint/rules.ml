@@ -1,6 +1,8 @@
-(** Rule implementations over the Typedtree (see the interface for the
-    rule catalogue).  Identifiers are matched by path suffix, so local
-    module aliases ([module O = Relax_optimizer]) are seen through. *)
+(* Rule implementations as queries over the call graph and the solved
+   effect signatures (see the interface for the catalogue). *)
+
+module E = Effects
+module C = Callgraph
 
 type scope = {
   parallel_reachable : bool;
@@ -8,314 +10,340 @@ type scope = {
   in_costing : bool;
   in_intdiv : bool;
   in_core : bool;
+  in_lock : bool;
 }
 
-(* ------------------------------------------------------------------ *)
-(* path and type helpers                                               *)
-(* ------------------------------------------------------------------ *)
+type graph = {
+  sigs : E.signature_ E.SMap.t;
+  node_by_id : (string, C.node) Hashtbl.t;
+  resolve : C.target -> string list;
+}
 
-let ends_with ~suffix s =
-  let ls = String.length suffix and l = String.length s in
-  l >= ls && String.sub s (l - ls) ls = suffix
-
-(* [Path.name p] is ["Stdlib.Hashtbl.create"], ["Obs.Recorder.ambient"],
-   ... — match the meaningful tail so aliases don't hide a use *)
-let path_is p suffixes =
-  let name = Path.name p in
-  List.exists
-    (fun suffix -> name = suffix || ends_with ~suffix:("." ^ suffix) name)
-    suffixes
-
-let head_constr ty =
-  match Types.get_desc ty with
-  | Types.Tconstr (p, _, _) -> Some p
-  | _ -> None
-
-let is_float ty =
-  match head_constr ty with
-  | Some p -> Path.same p Predef.path_float
-  | None -> false
-
-let is_int ty =
-  match head_constr ty with
-  | Some p -> Path.same p Predef.path_int
-  | None -> false
-
-(* first parameter type of a (possibly partially generalized) arrow *)
-let arrow_arg ty =
-  match Types.get_desc ty with
-  | Types.Tarrow (_, a, _, _) -> Some a
-  | _ -> None
+let finding ~rule ~message ~suggestion (l : E.loc) =
+  Finding.make ~rule ~file:l.file ~line:l.line ~col:l.col ~message ~suggestion
 
 (* ------------------------------------------------------------------ *)
-(* L1: module-level mutable state                                      *)
+(* provenance rendering                                                *)
 (* ------------------------------------------------------------------ *)
 
-let mutable_container ty =
-  match head_constr ty with
-  | None -> None
-  | Some p ->
-    if Path.same p Predef.path_array then Some "array"
-    else if Path.same p Predef.path_bytes then Some "bytes"
-    else if path_is p [ "ref" ] then Some "ref"
-    else if path_is p [ "Hashtbl.t" ] then Some "Hashtbl.t"
-    else if path_is p [ "Buffer.t" ] then Some "Buffer.t"
-    else if path_is p [ "Queue.t" ] then Some "Queue.t"
-    else if path_is p [ "Stack.t" ] then Some "Stack.t"
-    else if path_is p [ "Random.State.t" ] then Some "Random.State.t"
-    else None
+let path_string g start src =
+  let ids, w = E.chain g.sigs start src in
+  let base = String.concat " -> " ids in
+  match w with
+  | Some w ->
+    Printf.sprintf "%s -> %s (%s:%d)" base w.E.w_detail w.E.w_loc.file
+      w.E.w_loc.line
+  | None -> base
 
-(* bindings whose value is itself a synchronization device *)
-let synchronized ty =
-  match head_constr ty with
-  | Some p ->
-    path_is p [ "Atomic.t"; "Mutex.t"; "Condition.t"; "Semaphore.Counting.t" ]
-  | None -> false
-
-let rhs_head (e : Typedtree.expression) =
-  match e.exp_desc with
-  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> Some p
-  | _ -> None
-
-let check_l1 (str : Typedtree.structure) =
-  List.concat_map
-    (fun (item : Typedtree.structure_item) ->
-      match item.str_desc with
-      | Tstr_value (_, vbs) ->
-        List.filter_map
-          (fun (vb : Typedtree.value_binding) ->
-            match vb.vb_pat.pat_desc with
-            | Tpat_var (_, name) -> (
-              let ty = vb.vb_pat.pat_type in
-              if synchronized ty then None
-              else
-                match mutable_container ty with
-                | None -> None
-                | Some kind ->
-                  let allowed =
-                    match rhs_head vb.vb_expr with
-                    | Some p -> path_is p [ "Atomic.make" ]
-                    | None -> false
-                  in
-                  if allowed then None
-                  else
-                    Some
-                      (Finding.of_loc ~rule:"L1"
-                         ~message:
-                           (Printf.sprintf
-                              "module-level mutable %s `%s` in a module \
-                               reachable from Relax_parallel.Pool task \
-                               closures"
-                              kind name.txt)
-                         ~suggestion:
-                           "use Atomic.t, guard every access with a Mutex \
-                            (and waive with a reason), or move the state \
-                            into per-call scope"
-                         vb.vb_loc))
-            | _ -> None)
-          vbs
-      | _ -> [])
-    str.str_items
+let grounded_witness g start src =
+  let _, w = E.chain g.sigs start src in
+  w
 
 (* ------------------------------------------------------------------ *)
-(* expression-level rules (L2–L5), one traversal                       *)
+(* L1: module-level mutable state in parallel-reachable modules        *)
 (* ------------------------------------------------------------------ *)
 
-let comparison_ops = [ "Stdlib.="; "Stdlib.=="; "Stdlib.<>"; "Stdlib.!=" ]
-let compare_fns = [ "Stdlib.compare"; "compare" ]
+let l1 (a : C.analysis) =
+  List.map
+    (fun (kind, name, loc) ->
+      finding ~rule:"L1"
+        ~message:
+          (Printf.sprintf
+             "module-level mutable %s `%s` in a module reachable from \
+              Relax_parallel.Pool task closures"
+             kind name)
+        ~suggestion:
+          "use Atomic.t, guard every access with a Mutex (and waive with a \
+           reason), or move the state into per-call scope"
+        loc)
+    a.C.a_mutables
 
-let check_expressions scope (str : Typedtree.structure) =
-  let findings = ref [] in
-  let add f = findings := f :: !findings in
-  (* ident locations already reported as part of an enclosing application,
-     so the bare-ident checks below don't double-report the head *)
-  let handled_heads = Hashtbl.create 16 in
-  let op_name p =
-    let n = Path.name p in
-    match String.rindex_opt n '.' with
-    | Some i -> String.sub n (i + 1) (String.length n - i - 1)
-    | None -> n
-  in
-  let explicit_args args =
-    List.filter_map (fun (_, a) -> a) args
-    |> List.map (fun (a : Typedtree.expression) -> a.exp_type)
-  in
-  let check_apply (e : Typedtree.expression) head args =
-    match head.Typedtree.exp_desc with
-    | Texp_ident (p, _, _) ->
-      let arg_types = explicit_args args in
-      (* L3a: polymorphic comparison at type float *)
-      if
-        scope.in_costing
-        && (List.exists (fun n -> Path.name p = n) comparison_ops
-           || path_is p compare_fns)
-        && List.exists is_float arg_types
-      then begin
-        Hashtbl.replace handled_heads head.exp_loc ();
-        add
-          (Finding.of_loc ~rule:"L3"
+(* ------------------------------------------------------------------ *)
+(* L2–L5, L8 site markers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let marker_findings scope (a : C.analysis) =
+  List.filter_map
+    (fun (m : C.marker) ->
+      match m with
+      | M_catchall loc ->
+        Some
+          (finding ~rule:"L2"
+             ~message:
+               "catch-all `with _ ->` swallows every exception, including \
+                the ones Pool.map must re-raise in index order"
+             ~suggestion:
+               "match the specific exceptions expected here (or waive with \
+                a reason at a boundary that must not throw)"
+             loc)
+      | M_ignore loc ->
+        Some
+          (finding ~rule:"L2"
+             ~message:"`with e -> ignore e` discards the exception"
+             ~suggestion:
+               "handle or re-raise; if the site really must be silent, \
+                waive with a reason"
+             loc)
+      | M_float_cmp (loc, op) when scope.in_costing ->
+        Some
+          (finding ~rule:"L3"
              ~message:
                (Printf.sprintf
                   "polymorphic `%s` applied at type float; cost/size \
                    comparisons need an explicit tolerance"
-                  (op_name p))
+                  op)
              ~suggestion:
                "compare through Cost_bound.float_eq / float_leq / float_lt"
-             e.exp_loc)
-      end;
-      (* L3b: int-truncating division in page/byte arithmetic code *)
-      if
-        scope.in_intdiv
-        && Path.name p = "Stdlib./"
-        && List.exists is_int arg_types
-      then
-        add
-          (Finding.of_loc ~rule:"L3"
+             loc)
+      | M_float_inst loc when scope.in_costing ->
+        Some
+          (finding ~rule:"L3"
              ~message:
-               "int-truncating `/` in page/byte arithmetic; truncation \
-                here understates sizes (the bug class behind the \
-                leaf_pages fix)"
+               "polymorphic `compare` instantiated at type float; cost/size \
+                ordering needs an explicit tolerance"
+             ~suggestion:"use Float.compare or a Cost_bound helper" loc)
+      | M_intdiv loc when scope.in_intdiv ->
+        Some
+          (finding ~rule:"L3"
+             ~message:
+               "int-truncating `/` in page/byte arithmetic; truncation here \
+                understates sizes (the bug class behind the leaf_pages fix)"
              ~suggestion:
-               "do the arithmetic in float and round explicitly \
-                (Float.floor / Float.ceil), as in Size_model"
-             e.exp_loc)
-    | _ -> ()
-  in
-  let check_ident (e : Typedtree.expression) p =
-    if Hashtbl.mem handled_heads e.exp_loc then ()
-    else begin
-      (* L3a': compare instantiated at float and passed as an argument
-         (e.g. [List.sort compare costs]) *)
-      (if scope.in_costing && path_is p compare_fns then
-         match arrow_arg e.exp_type with
-         | Some a when is_float a ->
-           add
-             (Finding.of_loc ~rule:"L3"
-                ~message:
-                  "polymorphic `compare` instantiated at type float; \
-                   cost/size ordering needs an explicit tolerance"
-                ~suggestion:"use Float.compare or a Cost_bound helper"
-                e.exp_loc)
-         | _ -> ());
-      (* L4: ambient recorder slot accessed outside lib/obs *)
-      if
-        (not scope.in_obs)
-        && path_is p [ "Recorder.ambient"; "Recorder.current" ]
-      then
-        add
-          (Finding.of_loc ~rule:"L4"
+               "do the arithmetic in float and round explicitly (Float.floor \
+                / Float.ceil), as in Size_model"
+             loc)
+      | M_ambient loc when not scope.in_obs ->
+        Some
+          (finding ~rule:"L4"
              ~message:
                "direct access to the ambient recorder slot outside lib/obs"
              ~suggestion:
-               "instrument through Relax_obs.Probe (Probe.count, \
-                Probe.span, Probe.emit); only the obs layer reads the \
-                ambient slot"
-             e.exp_loc);
-      (* L5: nondeterminism sources *)
-      if path_is p [ "Random.self_init" ] then
-        add
-          (Finding.of_loc ~rule:"L5"
+               "instrument through Relax_obs.Probe (Probe.count, Probe.span, \
+                Probe.emit); only the obs layer reads the ambient slot"
+             loc)
+      | M_selfinit loc ->
+        Some
+          (finding ~rule:"L5"
              ~message:
-               "Random.self_init seeds from the environment; results \
-                would differ run to run"
+               "Random.self_init seeds from the environment; results would \
+                differ run to run"
              ~suggestion:
-               "thread an explicit seed (cf. Search.options.selection \
-                Random seed)"
-             e.exp_loc);
-      if path_is p [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ] then
-        add
-          (Finding.of_loc ~rule:"L5"
+               "thread an explicit seed (cf. Search.options.selection Random \
+                seed)"
+             loc)
+      | M_clock (loc, _) ->
+        Some
+          (finding ~rule:"L5"
              ~message:"wall-clock read outside Relax_obs.Clock"
              ~suggestion:
-               "route timing through Relax_obs.Clock (now / elapsed_s); \
-                the single sanctioned waiver lives inside that module"
-             e.exp_loc);
-      if
-        scope.in_core
-        && path_is p [ "Hashtbl.fold"; "Hashtbl.iter" ]
-      then
-        add
-          (Finding.of_loc ~rule:"L5"
+               "route timing through Relax_obs.Clock (now / elapsed_s); the \
+                single sanctioned waiver lives inside that module"
+             loc)
+      | M_hiter (loc, _) when scope.in_core ->
+        Some
+          (finding ~rule:"L5"
              ~message:
                "Hashtbl iteration order is unspecified and may feed \
                 candidate ordering"
              ~suggestion:
-               "iterate over an explicitly sorted key list (or waive \
-                with a reason when the result is order-insensitive)"
-             e.exp_loc)
-    end
-  in
-  let check_try (cases : Typedtree.value Typedtree.case list) =
-    List.iter
-      (fun (case : Typedtree.value Typedtree.case) ->
-        match case.c_lhs.pat_desc with
-        | Tpat_any ->
-          add
-            (Finding.of_loc ~rule:"L2"
-               ~message:
-                 "catch-all `with _ ->` swallows every exception, \
-                  including the ones Pool.map must re-raise in index \
-                  order"
-               ~suggestion:
-                 "match the specific exceptions expected here (or waive \
-                  with a reason at a boundary that must not throw)"
-               case.c_lhs.pat_loc)
-        | Tpat_var (id, _) -> (
-          match case.c_rhs.exp_desc with
-          | Texp_apply
-              ( { exp_desc = Texp_ident (p, _, _); _ },
-                [ (_, Some { exp_desc = Texp_ident (Path.Pident arg, _, _); _ })
-                ] )
-            when path_is p [ "ignore" ] && Ident.same id arg ->
-            add
-              (Finding.of_loc ~rule:"L2"
-                 ~message:"`with e -> ignore e` discards the exception"
-                 ~suggestion:
-                   "handle or re-raise; if the site really must be \
-                    silent, waive with a reason"
-                 case.c_lhs.pat_loc)
-          | _ -> ())
-        | _ -> ())
-      cases
-  in
-  let iter =
-    {
-      Tast_iterator.default_iterator with
-      expr =
-        (fun sub (e : Typedtree.expression) ->
-          (match e.exp_desc with
-          | Texp_apply (head, args) -> check_apply e head args
-          | Texp_ident (p, _, _) -> check_ident e p
-          | Texp_try (_, cases) -> check_try cases
-          | _ -> ());
-          Tast_iterator.default_iterator.expr sub e);
-    }
-  in
-  iter.structure iter str;
-  List.rev !findings
-
-let check scope str =
-  let l1 = if scope.parallel_reachable then check_l1 str else [] in
-  List.sort Finding.compare (l1 @ check_expressions scope str)
+               "iterate over an explicitly sorted key list (or waive with a \
+                reason when the result is order-insensitive)"
+             loc)
+      | M_snapshot_unguarded (loc, cell) when scope.in_lock ->
+        Some
+          (finding ~rule:"L8"
+             ~message:
+               (Printf.sprintf
+                  "atomic publish of snapshot cell `%s` outside any \
+                   mutex-held region; a reader can observe a snapshot older \
+                   than the table it mirrors"
+                  cell)
+             ~suggestion:
+               "publish inside the critical section that mutated the table \
+                (Mutex.protect), or waive naming the caller-holds-the-lock \
+                protocol"
+             loc)
+      | M_nested_lock loc when scope.in_lock ->
+        Some
+          (finding ~rule:"L8"
+             ~message:
+               "mutex acquired while another lock is already held; \
+                out-of-order nested acquisition can deadlock the worker \
+                domains"
+             ~suggestion:
+               "restructure to one lock per critical section, or document \
+                and waive the canonical acquisition order"
+             loc)
+      | M_float_cmp _ | M_float_inst _ | M_intdiv _ | M_ambient _
+      | M_hiter _ | M_snapshot_unguarded _ | M_nested_lock _ ->
+        None)
+    a.C.a_markers
 
 (* ------------------------------------------------------------------ *)
-(* reachability seed                                                   *)
+(* L6: parallel purity of pool task closures                           *)
 (* ------------------------------------------------------------------ *)
 
-let references_pool_tasks (str : Typedtree.structure) =
-  let found = ref false in
-  let iter =
-    {
-      Tast_iterator.default_iterator with
-      expr =
-        (fun sub (e : Typedtree.expression) ->
-          (match e.exp_desc with
-          | Texp_ident (p, _, _)
-            when path_is p [ "Pool.map"; "Pool.create" ] ->
-            found := true
-          | _ -> ());
-          Tast_iterator.default_iterator.expr sub e);
-    }
-  in
-  iter.structure iter str;
-  !found
+let l6_forbidden =
+  E.Set.of_list
+    [ E.Mutates_shared; E.Mutates_args; E.Reads_clock; E.Nondet;
+      E.Reads_ambient; E.Io ]
+
+let l6 g (a : C.analysis) =
+  List.concat_map
+    (fun (site : C.pool_site) ->
+      List.filter_map
+        (fun id ->
+          match E.SMap.find_opt id g.sigs with
+          | None -> None
+          | Some s ->
+            let bad = E.Set.inter s.E.s_flagged l6_forbidden in
+            let cap = E.captured s in
+            if E.Set.is_empty bad && not cap then None
+            else
+              let src =
+                match E.Set.to_list bad with
+                | e :: _ -> `Eff e
+                | [] -> `Cap
+              in
+              let names = E.names bad ~cap in
+              Some
+                (finding ~rule:"L6"
+                   ~message:
+                     (Printf.sprintf
+                        "closure submitted to the worker pool carries \
+                         effects {%s}; pool tasks must stay pure up to \
+                         atomics and mutex-guarded state (path: %s)"
+                        (String.concat ", " names)
+                        (path_string g id src))
+                   ~suggestion:
+                     "hoist the side effect out of the parallel region, \
+                      guard it with the owning shard's mutex, or make the \
+                      captured state task-local; waive only with the \
+                      protocol that makes the share safe"
+                   site.C.ps_loc))
+        (g.resolve site.C.ps_target))
+    a.C.a_pool_sites
+
+(* ------------------------------------------------------------------ *)
+(* L8 (interprocedural): calls under a held lock that acquire again    *)
+(* ------------------------------------------------------------------ *)
+
+let l8_nested_calls g (a : C.analysis) =
+  List.concat_map
+    (fun (n : C.node) ->
+      List.concat_map
+        (fun (e : C.raw_edge) ->
+          if not e.C.re_guarded then []
+          else
+            List.filter_map
+              (fun id ->
+                match E.SMap.find_opt id g.sigs with
+                | None -> None
+                | Some s ->
+                  if
+                    E.Set.mem E.Acquires_mutex s.E.s_flagged
+                    || E.Set.mem E.Acquires_mutex s.E.s_sanctioned
+                  then
+                    Some
+                      (finding ~rule:"L8"
+                         ~message:
+                           (Printf.sprintf
+                              "call to %s while a mutex is held acquires \
+                               another mutex (path: %s); nested acquisition \
+                               can deadlock the worker domains"
+                              id
+                              (path_string g id (`Eff E.Acquires_mutex)))
+                         ~suggestion:
+                           "restructure to one lock per critical section, or \
+                            document and waive the canonical acquisition \
+                            order"
+                         e.C.re_site)
+                  else None)
+              (g.resolve e.C.re_target))
+        n.C.n_edges)
+    a.C.a_nodes
+
+(* ------------------------------------------------------------------ *)
+(* L7: purity of everything the costing entry points reach             *)
+(* ------------------------------------------------------------------ *)
+
+let l7_forbidden =
+  E.Set.of_list
+    [ E.Mutates_shared; E.Mutates_args; E.Mutates_guarded; E.Acquires_mutex;
+      E.Atomic_read; E.Atomic_write; E.Reads_clock; E.Nondet;
+      E.Reads_ambient; E.Io ]
+
+let check_costing g ~entry_modules (analyses : C.analysis list) =
+  let seen = Hashtbl.create 32 in
+  let out = ref [] in
+  List.iter
+    (fun (a : C.analysis) ->
+      if List.mem a.C.a_modname entry_modules then
+        List.iter
+          (fun (n : C.node) ->
+            if n.C.n_toplevel then
+              match E.SMap.find_opt n.C.n_id g.sigs with
+              | None -> ()
+              | Some s ->
+                let bad = E.Set.inter s.E.s_flagged l7_forbidden in
+                let srcs =
+                  List.map (fun e -> `Eff e) (E.Set.to_list bad)
+                  @ (if E.captured s then [ `Cap ] else [])
+                in
+                List.iter
+                  (fun src ->
+                    let w = grounded_witness g n.C.n_id src in
+                    let loc =
+                      match w with Some w -> w.E.w_loc | None -> n.C.n_loc
+                    in
+                    let effname =
+                      match src with
+                      | `Eff e -> E.eff_name e
+                      | `Cap -> E.captured_name
+                    in
+                    let key =
+                      Printf.sprintf "%s:%d:%d:%s" loc.E.file loc.E.line
+                        loc.E.col effname
+                    in
+                    if not (Hashtbl.mem seen key) then begin
+                      Hashtbl.replace seen key ();
+                      out :=
+                        finding ~rule:"L7"
+                          ~message:
+                            (Printf.sprintf
+                               "costing entry %s reaches effect %s here \
+                                (path: %s); what-if costing must be \
+                                referentially transparent"
+                               n.C.n_id effname
+                               (path_string g n.C.n_id src))
+                          ~suggestion:
+                            "keep everything reachable from Cost_bound / \
+                             Size_model / Access_path pure and \
+                             deterministic; thread state through arguments \
+                             instead of reading shared or ambient state"
+                          loc
+                        :: !out
+                    end)
+                  srcs)
+          a.C.a_nodes)
+    analyses;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+
+let check_module scope g (a : C.analysis) =
+  let l1_findings = if scope.parallel_reachable then l1 a else [] in
+  l1_findings @ marker_findings scope a @ l6 g a
+  @ (if scope.in_lock then l8_nested_calls g a else [])
+
+let references_pool_tasks (a : C.analysis) =
+  a.C.a_pool_sites <> []
+  || List.exists
+       (fun (n : C.node) ->
+         List.exists
+           (fun (e : C.raw_edge) ->
+             match e.C.re_target with
+             | C.Tkey ("Pool.map" | "Pool.map_array" | "Pool.create") -> true
+             | _ -> false)
+           n.C.n_edges)
+       a.C.a_nodes

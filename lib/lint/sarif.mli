@@ -1,0 +1,15 @@
+(** SARIF 2.1.0 rendering of lint results, for GitHub code scanning.
+
+    One run, one driver ([relax-lint]), the full L1–L8 + W0 rule
+    catalogue, and one result per finding.  Waived findings are included
+    with an [inSource] suppression so the code-scanning UI shows them as
+    suppressed rather than losing them.  Columns are converted from the
+    compiler's 0-based convention to SARIF's 1-based one. *)
+
+val to_json :
+  findings:Finding.t list -> waived:Finding.t list -> Relax_obs.Json.t
+(** The complete SARIF document as a JSON value. *)
+
+val write :
+  path:string -> findings:Finding.t list -> waived:Finding.t list -> unit
+(** Write the document to [path] (single line, trailing newline). *)

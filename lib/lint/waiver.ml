@@ -66,3 +66,6 @@ let covers t ~rule ~line =
     t
 
 let count t = List.length t
+
+let entries t =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) t

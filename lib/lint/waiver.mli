@@ -24,3 +24,7 @@ val covers : t -> rule:string -> line:int -> bool
 
 val count : t -> int
 (** Number of waiver comments in the file. *)
+
+val entries : t -> (int * string list) list
+(** All waiver comments as [(line, waived rule ids)], sorted by line —
+    the input of the W0 stale-waiver check. *)

@@ -179,12 +179,6 @@ let dominated l (a_entries, a_cost) =
 
 let bound_shard_of t qid = t.bound_shards.(Hashtbl.hash qid land (shard_count - 1))
 
-(* re-publish a bound shard's snapshot from its hashtable; caller holds
-   [b_lock] *)
-let republish_bounds bsh =
-  Atomic.set bsh.b_snapshot
-    (Hashtbl.fold (fun qid l acc -> Smap.add qid l acc) bsh.b_tbl Smap.empty)
-
 let record_bounds t ~qid ~fp (cost : float) =
   let entries = fingerprint_entries fp in
   let bsh = bound_shard_of t qid in
@@ -270,7 +264,12 @@ let evict t ~keep =
               bsh.b_tbl []
           in
           List.iter (Hashtbl.remove bsh.b_tbl) doomed;
-          republish_bounds bsh))
+          (* re-publish the snapshot from the surviving table while
+             [b_lock] is still held, so snapshot and table move together *)
+          Atomic.set bsh.b_snapshot
+            (Hashtbl.fold
+               (fun qid l acc -> Smap.add qid l acc)
+               bsh.b_tbl Smap.empty)))
     t.bound_shards
 
 (** Advisory (lower, upper) bounds on the optimized plan cost of [qid]

@@ -1,0 +1,5 @@
+(* Effect-inference fixture: the wall-clock read is buried one call
+   away, so callers of [tick] inherit reads-clock through a hop. *)
+
+let raw_now () = Unix.gettimeofday ()
+let tick () = raw_now () +. 1.0

@@ -1,0 +1,4 @@
+(* L7 fixture: a costing entry point (the fixture engine config names
+   this module) reaching a clock read two call hops away. *)
+
+let cost pages = float_of_int pages *. Fix_hop.tick ()

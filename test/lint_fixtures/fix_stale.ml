@@ -1,0 +1,4 @@
+(* W0 fixture: this waiver excuses nothing and must be flagged. *)
+
+(* relax-lint: allow L5 stale on purpose: the clock read it excused is gone *)
+let pure x = x + 1

@@ -30,6 +30,8 @@ let fixture_config : Lint.Engine.config =
     costing_dirs = [ "lint_fixtures" ];
     intdiv_dirs = [ "lint_fixtures" ];
     core_dirs = [ "lint_fixtures" ];
+    lock_dirs = [ "lint_fixtures" ];
+    costing_entry_modules = [ "Fix_l7" ];
     assume_parallel = false;
   }
 
@@ -57,6 +59,55 @@ let test_l5 () =
     [ "fix_l5.ml:3:L5"; "fix_l5.ml:4:L5"; "fix_l5.ml:5:L5" ]
 
 let test_clean () = check_findings "fix_clean.ml" []
+
+(* L6: the first pool closure mutates a captured local, the second
+   reaches a wall-clock read two call hops away in another module *)
+let test_l6 () =
+  check_findings "fix_l6.ml" [ "fix_l6.ml:8:L6"; "fix_l6.ml:15:L6" ]
+
+(* the acceptance demo for the interprocedural analysis: the finding's
+   provenance chain crosses a module boundary and two call hops *)
+let test_l6_chain () =
+  let r = Lazy.force fixture_result in
+  let f =
+    List.find
+      (fun (f : Lint.Finding.t) -> f.rule = "L6" && f.line = 15)
+      (in_file "fix_l6.ml" r.findings)
+  in
+  Alcotest.(check bool)
+    "chain crosses into Fix_hop" true
+    (Astring_contains.contains f.message
+       "Fix_hop.tick -> Fix_hop.raw_now -> Unix.gettimeofday")
+
+(* L7 grounds at the witness site, which lives in the hop module, not
+   in the entry module named by the configuration *)
+let test_l7 () =
+  let r = Lazy.force fixture_result in
+  match List.filter (fun (f : Lint.Finding.t) -> f.rule = "L7") r.findings with
+  | [ f ] ->
+    Alcotest.(check string) "file" "fix_hop.ml" (basename f);
+    Alcotest.(check int) "line" 4 f.line;
+    Alcotest.(check bool)
+      "names the entry" true
+      (Astring_contains.contains f.message "Fix_l7.cost");
+    Alcotest.(check bool)
+      "names the effect" true
+      (Astring_contains.contains f.message "reads-clock")
+  | fs -> Alcotest.failf "expected exactly one L7 finding, got %d" (List.length fs)
+
+(* the hop module itself carries the direct L5 and hosts the grounded
+   L7 witness *)
+let test_hop () =
+  check_findings "fix_hop.ml" [ "fix_hop.ml:4:L5"; "fix_hop.ml:4:L7" ]
+
+let test_l8 () =
+  check_findings "fix_l8.ml" [ "fix_l8.ml:10:L8"; "fix_l8.ml:18:L8" ]
+
+let test_w0 () = check_findings "fix_stale.ml" [ "fix_stale.ml:3:W0" ]
+
+(* mutex use, guarded mutation, and a dissolving capture are all within
+   the rules — the effects fixture must lint clean *)
+let test_effects_fixture () = check_findings "fix_effects.ml" []
 
 let test_waived () =
   let r = Lazy.force fixture_result in
@@ -136,6 +187,13 @@ let suite =
     Alcotest.test_case "fixture: L4 ambient access" `Quick test_l4;
     Alcotest.test_case "fixture: L5 nondeterminism" `Quick test_l5;
     Alcotest.test_case "fixture: clean module" `Quick test_clean;
+    Alcotest.test_case "fixture: L6 parallel purity" `Quick test_l6;
+    Alcotest.test_case "fixture: L6 cross-module chain" `Quick test_l6_chain;
+    Alcotest.test_case "fixture: L7 costing purity" `Quick test_l7;
+    Alcotest.test_case "fixture: hop module findings" `Quick test_hop;
+    Alcotest.test_case "fixture: L8 lock discipline" `Quick test_l8;
+    Alcotest.test_case "fixture: W0 stale waiver" `Quick test_w0;
+    Alcotest.test_case "fixture: effects module clean" `Quick test_effects_fixture;
     Alcotest.test_case "fixture: inline waiver" `Quick test_waived;
     Alcotest.test_case "reachability closure" `Quick test_reachability;
     Alcotest.test_case "assume-parallel scope" `Quick test_assume_parallel;

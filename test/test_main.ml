@@ -17,6 +17,7 @@ let () =
       ("check", Suite_check.suite);
       ("frugal", Suite_frugal.suite);
       ("lint", Suite_lint.suite);
+      ("effects", Suite_effects.suite);
       ("integration", Suite_integration.suite);
       ("daemon", Suite_daemon.suite);
     ]
